@@ -1,0 +1,90 @@
+// Command dvcsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dvcsim -list
+//	dvcsim -exp E1 [-seed 42] [-trials 20]
+//	dvcsim -exp all [-full]
+//
+// Each experiment prints its table(s) followed by PASS/FAIL shape checks
+// against the paper's reported results. The exit status is non-zero if
+// any check fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dvc"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (E1..E14, A1, A2) or \"all\"")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		trials  = flag.Int("trials", 0, "trial count for statistical experiments (0 = default)")
+		full    = flag.Bool("full", false, "paper-scale parameters (slow: E2 runs >2000 trials)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		dvc.WriteBanner(os.Stdout)
+		for _, id := range dvc.ExperimentIDs() {
+			fmt.Printf("  %-4s %s\n", id, dvc.ExperimentTitle(id))
+		}
+		return
+	}
+
+	opts := dvc.ExperimentOptions{Seed: *seed, Trials: *trials, Full: *full, Out: os.Stdout}
+	if *jsonOut {
+		opts.Out = nil // tables land in the JSON document instead
+	} else {
+		dvc.WriteBanner(os.Stdout)
+		fmt.Println()
+	}
+
+	var results []*dvc.ExperimentResult
+	if *exp == "all" {
+		all, err := dvc.RunAllExperiments(opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = all
+	} else {
+		res, err := dvc.RunExperiment(*exp, opts)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+	}
+
+	failed := 0
+	for _, res := range results {
+		for range res.FailedChecks() {
+			failed++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dvcsim: %d shape check(s) FAILED\n", failed)
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Println("dvcsim: all shape checks passed")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvcsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,108 @@
+// Command dvctrace generates, validates and summarises job traces for
+// the resource-manager experiments.
+//
+// Usage:
+//
+//	dvctrace -gen 20 -seed 7 > trace.json      # synthesise a mix
+//	dvctrace -validate trace.json              # parse + sanity-check
+//	dvctrace -summary trace.json               # widths, work, arrival span
+//
+// Generated traces feed rm.SubmitTrace (and can be archived next to the
+// experiment output that consumed them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"dvc/internal/metrics"
+	"dvc/internal/sim"
+	"dvc/internal/workload"
+)
+
+func main() {
+	var (
+		gen      = flag.Int("gen", 0, "generate a trace with this many jobs")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		arrival  = flag.Duration("arrival", 30*time.Second, "mean inter-arrival time")
+		workMin  = flag.Duration("work-min", time.Minute, "minimum per-node work")
+		workMax  = flag.Duration("work-max", 10*time.Minute, "maximum per-node work")
+		validate = flag.String("validate", "", "validate a trace file")
+		summary  = flag.String("summary", "", "summarise a trace file")
+	)
+	flag.Parse()
+
+	switch {
+	case *gen > 0:
+		cfg := workload.DefaultMix(*gen)
+		cfg.ArrivalMean = sim.Duration(*arrival)
+		cfg.WorkMin = sim.Duration(*workMin)
+		cfg.WorkMax = sim.Duration(*workMax)
+		trace := workload.Generate(rand.New(rand.NewSource(*seed)), cfg)
+		if err := workload.WriteTrace(os.Stdout, trace); err != nil {
+			fatal(err)
+		}
+	case *validate != "":
+		trace := load(*validate)
+		fmt.Printf("ok: %d jobs\n", len(trace))
+	case *summary != "":
+		trace := load(*summary)
+		summarise(trace)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func load(path string) []workload.JobSpec {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	trace, err := workload.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	return trace
+}
+
+func summarise(trace []workload.JobSpec) {
+	if len(trace) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	var width, work metrics.Sample
+	stacks := map[string]int{}
+	var lastArrival sim.Time
+	var nodeSeconds float64
+	for _, j := range trace {
+		width.Add(float64(j.Width))
+		work.AddTime(j.Work)
+		stacks[j.Stack]++
+		if j.Arrival > lastArrival {
+			lastArrival = j.Arrival
+		}
+		nodeSeconds += float64(j.Width) * j.Work.Seconds()
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("trace: %d jobs over %v", len(trace), lastArrival),
+		"metric", "min", "mean", "max")
+	tbl.Row("width", width.Min(), width.Mean(), width.Max())
+	tbl.Row("work (s)", work.Min(), work.Mean(), work.Max())
+	fmt.Print(tbl.String())
+	fmt.Printf("total demand: %.0f node-seconds\n", nodeSeconds)
+	for stack, n := range stacks {
+		if stack == "" {
+			stack = "(any)"
+		}
+		fmt.Printf("stack %-16s %d jobs\n", stack, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dvctrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package dvc_test
+
+import (
+	"fmt"
+
+	"dvc"
+)
+
+// Example reproduces the paper's core capability in a few lines: an
+// unmodified MPI application (HPL) running in a virtual cluster survives
+// a completely transparent parallel checkpoint.
+func Example() {
+	s := dvc.NewSimulation(42)
+	s.AddCluster("alpha", 8)
+	s.Start()
+
+	vc := s.MustAllocate(dvc.VCSpec{Name: "job1", Nodes: 4, VMRAM: 256 << 20})
+	vc.LaunchMPI(6000, func(rank int) dvc.App { return dvc.NewHPL(128, 42, 2e-5) })
+	s.RunFor(2 * dvc.Second)
+
+	res := s.MustCheckpoint(vc)
+	fmt.Println("checkpoint ok:", res.OK)
+	fmt.Println("skew under budget:", res.SaveSkew < dvc.TCPRetryBudget())
+	fmt.Println("images saved:", len(res.Images))
+
+	js := s.RunUntilJobDone(vc, 2*dvc.Hour)
+	fmt.Println("job succeeded:", js.AllOK())
+	// Output:
+	// checkpoint ok: true
+	// skew under budget: true
+	// images saved: 4
+	// job succeeded: true
+}
+
+// ExampleSimulation_Migrate moves a running virtual cluster between
+// physical clusters with stop-and-copy.
+func ExampleSimulation_Migrate() {
+	s := dvc.NewSimulation(7)
+	s.AddCluster("alpha", 2)
+	s.AddCluster("beta", 2)
+	s.Start()
+	vc := s.MustAllocate(dvc.VCSpec{Name: "m", Nodes: 2, VMRAM: 256 << 20, Clusters: []string{"alpha"}})
+	vc.LaunchMPI(6000, func(int) dvc.App { return dvc.NewHalo(3000, 20*dvc.Millisecond, 1024) })
+	s.RunFor(dvc.Second)
+
+	res, err := s.Migrate(vc, s.FreeNodes("beta"))
+	fmt.Println("migrated:", err == nil && res.OK)
+	fmt.Println("on beta:", vc.PhysicalNodes()[0].Cluster() == "beta")
+	fmt.Println("job finished:", s.RunUntilJobDone(vc, dvc.Hour).AllOK())
+	// Output:
+	// migrated: true
+	// on beta: true
+	// job finished: true
+}

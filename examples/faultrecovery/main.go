@@ -1,0 +1,69 @@
+// Fault recovery: a physical node dies under a running parallel job. With
+// DVC, the whole virtual cluster restarts from its last checkpoint on a
+// different set of physical nodes — "virtual nodes cannot be broken".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvc"
+	"dvc/internal/hpcc"
+)
+
+func main() {
+	s := dvc.NewSimulation(7)
+	s.AddCluster("alpha", 7)
+	s.Start()
+
+	// Checkpoint-and-continue: periodic saves without the full Xen
+	// save/restore cycle.
+	cfg := dvc.NTPLSC()
+	cfg.ContinueAfterSave = true
+	s.SetLSC(cfg)
+
+	vc := s.MustAllocate(dvc.VCSpec{Name: "ptjob", Nodes: 3, VMRAM: 256 << 20})
+	// PTRANS: the paper's communication-heavy consistency stress, with
+	// real matrix data verified at the end.
+	vc.LaunchMPI(6000, func(int) dvc.App { return dvc.NewPTRANS(30, 7, 2500, 10) })
+	s.RunFor(2 * dvc.Second)
+
+	ck := s.MustCheckpoint(vc)
+	fmt.Printf("checkpoint gen %d staged (%d images)\n", ck.Generation, len(ck.Images))
+
+	// Disaster: one hosting node crashes. Its domain is destroyed and
+	// the remaining ranks' connections start timing out.
+	victim := vc.PhysicalNodes()[1]
+	victim.Fail()
+	fmt.Printf("node %s crashed!\n", victim.ID())
+	s.RunFor(5 * dvc.Second)
+
+	// Recovery: destroy the remnants, restore ALL VMs from the last
+	// checkpoint onto healthy nodes.
+	vc.Teardown()
+	targets := s.FreeNodes("alpha")
+	if len(targets) < 3 {
+		log.Fatal("not enough healthy nodes")
+	}
+	rr, err := s.Recover(vc, ck.Generation, targets[:3])
+	if err != nil || !rr.OK {
+		log.Fatalf("recovery failed: %v %+v", err, rr)
+	}
+	fmt.Printf("restored on fresh nodes (staging %v): ", rr.StageTime)
+	for _, n := range vc.PhysicalNodes() {
+		fmt.Printf("%s ", n.ID())
+	}
+	fmt.Println()
+
+	js := s.RunUntilJobDone(vc, 2*dvc.Hour)
+	if !js.AllOK() {
+		log.Fatalf("job failed after recovery: %+v", js)
+	}
+	for r, app := range vc.RankApps() {
+		pt := app.(*hpcc.PTRANS)
+		if !pt.Passed {
+			log.Fatalf("rank %d verification failed", r)
+		}
+	}
+	fmt.Println("PTRANS completed and verified after crash recovery: the job never knew")
+}

@@ -1,0 +1,58 @@
+// Proactive migration: a hardware fault is predicted on a hosting node,
+// so the whole running virtual cluster migrates to another cluster before
+// the node dies. The job never observes the fault — the paper's
+// "avoidance of job failure when hardware faults can be predicted".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dvc"
+	"dvc/internal/hpcc"
+)
+
+func main() {
+	s := dvc.NewSimulation(23)
+	s.AddCluster("alpha", 4)
+	s.AddCluster("beta", 4)
+	s.Start()
+
+	vc := s.MustAllocate(dvc.VCSpec{
+		Name: "mig", Nodes: 4, VMRAM: 256 << 20,
+		Clusters: []string{"alpha"},
+	})
+	vc.LaunchMPI(6000, func(int) dvc.App { return dvc.NewHalo(5000, 20*dvc.Millisecond, 2048) })
+	s.RunFor(2 * dvc.Second)
+	fmt.Printf("job running on alpha: %s..%s\n",
+		vc.PhysicalNodes()[0].ID(), vc.PhysicalNodes()[3].ID())
+
+	// The health monitor predicts alpha-n00 will fail in ~60 s.
+	doomed := vc.PhysicalNodes()[0]
+	s.Site().Kernel.After(60*dvc.Second, func() {
+		doomed.Fail()
+		fmt.Printf("(node %s has now actually died)\n", doomed.ID())
+	})
+	fmt.Printf("fault predicted on %s: migrating the whole VC to beta now\n", doomed.ID())
+
+	res, err := s.Migrate(vc, s.FreeNodes("beta"))
+	if err != nil || !res.OK {
+		log.Fatalf("migration failed: %v %+v", err, res)
+	}
+	fmt.Printf("migrated in %v of downtime; now on %s..%s\n",
+		res.Downtime, vc.PhysicalNodes()[0].ID(), vc.PhysicalNodes()[3].ID())
+
+	js := s.RunUntilJobDone(vc, 2*dvc.Hour)
+	if !js.AllOK() {
+		log.Fatalf("job failed: %+v", js)
+	}
+	for _, app := range vc.RankApps() {
+		if !app.(*hpcc.Halo).Finished {
+			log.Fatal("rank did not finish")
+		}
+	}
+	if doomed.Up() {
+		log.Fatal("the predicted fault never happened — scenario broken")
+	}
+	fmt.Println("job completed; the predicted hardware fault was fully masked")
+}

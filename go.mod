@@ -1,0 +1,3 @@
+module dvc
+
+go 1.22

@@ -1,0 +1,594 @@
+package core
+
+import (
+	"fmt"
+
+	"dvc/internal/guest"
+	"dvc/internal/phys"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+	"dvc/internal/vm"
+)
+
+// LSCMode selects the coordination strategy for Lazy Synchronous
+// Checkpointing.
+type LSCMode int
+
+// Coordination strategies.
+const (
+	// LSCNaive is the paper's first implementation (§3.1): terminal
+	// connections to every node, "vm save" written to each in turn. The
+	// serial dispatch plus remote-shell jitter produces save skew that
+	// grows with node count; once it exceeds the TCP retry budget the
+	// application dies. "Unreliable at best."
+	LSCNaive LSCMode = iota
+	// LSCNTP is the working prototype (§3.1): every node arms a local
+	// timer for the same host-clock instant; NTP bounds the skew to
+	// milliseconds.
+	LSCNTP
+)
+
+func (m LSCMode) String() string {
+	if m == LSCNaive {
+		return "naive"
+	}
+	return "ntp"
+}
+
+// LSCConfig tunes the coordinator.
+type LSCConfig struct {
+	Mode LSCMode
+
+	// Naive mode: serial per-node cost of pushing the command down each
+	// terminal connection, plus a heavy-tailed remote execution latency
+	// (lognormal with the given median and sigma).
+	DispatchWriteCost sim.Time
+	ExecJitterMedian  sim.Time
+	ExecJitterSigma   float64
+
+	// NTP mode: how far in the future the common save instant is
+	// scheduled, and the local timer's firing jitter (lognormal).
+	ScheduleLead     sim.Time
+	TimerJitterMed   sim.Time
+	TimerJitterSigma float64
+
+	// SleeperFailProb is the per-VM probability that the node-local
+	// checkpoint process dies or hangs before the save instant — the
+	// §3.1 caveat: "it does not check neighboring processes to make
+	// certain that the sleeping checkpoint process is still executing".
+	SleeperFailProb float64
+	// HealthCheck enables the paper's proposed fix (§4): a coordinated
+	// health check of checkpoint processes before the save instant, with
+	// up to HealthRetries whole-attempt retries.
+	HealthCheck   bool
+	HealthRetries int
+
+	// ContinueAfterSave selects checkpoint-and-continue (unpause after
+	// capture) instead of the Xen-2007 save/restore cycle (domain is
+	// destroyed by the save and restored from the image).
+	ContinueAfterSave bool
+
+	// Incremental enables page-level incremental checkpoints: after a
+	// full base image, subsequent generations transfer only the pages
+	// dirtied since the previous checkpoint. Restores stage the whole
+	// chain. (Extension; see experiment E14.)
+	Incremental bool
+	// FullEvery consolidates with a full image every N generations
+	// (0 = only generation 0 is full).
+	FullEvery int
+}
+
+// isFullGeneration decides whether generation gen writes a full image.
+func (cfg LSCConfig) isFullGeneration(gen int) bool {
+	if !cfg.Incremental || gen == 0 {
+		return true
+	}
+	return cfg.FullEvery > 0 && gen%cfg.FullEvery == 0
+}
+
+// DefaultNaiveLSC returns the naive coordinator's calibration. The write
+// cost and jitter were calibrated so the failure curve matches §3.1:
+// reliable through 8 nodes, ~50% failures at 10, ~90% at 12. Note the
+// effective tolerance is about *half* the 6.2 s TCP retry budget, because
+// the serial dispatch skews both the save and the subsequent restore and
+// retry counters persist across the cycle.
+func DefaultNaiveLSC() LSCConfig {
+	return LSCConfig{
+		Mode:              LSCNaive,
+		DispatchWriteCost: 320 * sim.Millisecond,
+		ExecJitterMedian:  200 * sim.Millisecond,
+		ExecJitterSigma:   1.0,
+	}
+}
+
+// DefaultNTPLSC returns the NTP coordinator's calibration: a scheduled
+// instant 2 s out and sub-millisecond local timer jitter.
+func DefaultNTPLSC() LSCConfig {
+	return LSCConfig{
+		Mode:             LSCNTP,
+		ScheduleLead:     2 * sim.Second,
+		TimerJitterMed:   300 * sim.Microsecond,
+		TimerJitterSigma: 0.8,
+	}
+}
+
+// CheckpointResult reports one coordinated checkpoint attempt.
+type CheckpointResult struct {
+	VC         string
+	Generation int
+	OK         bool
+	Reason     string
+
+	Images     []*vm.Image
+	Attempts   int      // >1 when the health check retried
+	SaveSkew   sim.Time // last pause - first pause
+	StoreTime  sim.Time // image transfer to shared storage
+	Downtime   sim.Time // first pause to last resume
+	FinishedAt sim.Time
+
+	targets []*phys.Node // migration destination; nil = same placement
+}
+
+// RestoreResult reports a coordinated restore.
+type RestoreResult struct {
+	VC         string
+	Generation int
+	OK         bool
+	Reason     string
+	StageTime  sim.Time // image transfer from shared storage
+	FinishedAt sim.Time
+}
+
+// Coordinator drives LSC over a manager's virtual clusters.
+type Coordinator struct {
+	mgr *Manager
+	cfg LSCConfig
+
+	// Stats across all attempts.
+	AttemptCount int
+	FailCount    int
+}
+
+// NewCoordinator creates an LSC coordinator.
+func NewCoordinator(mgr *Manager, cfg LSCConfig) *Coordinator {
+	return &Coordinator{mgr: mgr, cfg: cfg}
+}
+
+// Config returns the coordinator configuration.
+func (c *Coordinator) Config() LSCConfig { return c.cfg }
+
+// imageKey is the storage key for one domain of one generation.
+func imageKey(vcName string, gen int, domain string) string {
+	return fmt.Sprintf("lsc/%s/%05d/%s", vcName, gen, domain)
+}
+
+// pausePlan computes each domain's absolute pause instant; a negative
+// time means that node's sleeper process died and the VM will never
+// pause.
+func (c *Coordinator) pausePlan(vc *VirtualCluster) []sim.Time {
+	k := c.mgr.kernel
+	rng := k.Rand()
+	times := make([]sim.Time, len(vc.domains))
+	switch c.cfg.Mode {
+	case LSCNaive:
+		for i := range times {
+			dispatch := sim.Time(i+1) * c.cfg.DispatchWriteCost
+			exec := sim.LogNormal(rng, c.cfg.ExecJitterMedian, c.cfg.ExecJitterSigma)
+			times[i] = k.Now() + dispatch + exec
+		}
+	case LSCNTP:
+		// One host-clock instant for everyone, read from the
+		// coordinator's (first node's) clock.
+		coordClock := vc.nodes[0].Clock()
+		hostT := coordClock.Read() + c.cfg.ScheduleLead
+		for i, node := range vc.nodes {
+			trueT := node.Clock().TrueTimeForHostReading(hostT)
+			trueT += sim.LogNormal(rng, c.cfg.TimerJitterMed, c.cfg.TimerJitterSigma)
+			if trueT < k.Now() {
+				trueT = k.Now()
+			}
+			times[i] = trueT
+		}
+	}
+	for i := range times {
+		if c.cfg.SleeperFailProb > 0 && rng.Float64() < c.cfg.SleeperFailProb {
+			times[i] = -1
+		}
+	}
+	return times
+}
+
+// Checkpoint takes a coordinated checkpoint of the virtual cluster and
+// calls done with the outcome. Depending on ContinueAfterSave the VC
+// either resumes in place or is destroyed and restored from the saved
+// images (the Xen-2007 save/restore cycle the paper measured).
+func (c *Coordinator) Checkpoint(vc *VirtualCluster, done func(*CheckpointResult)) error {
+	return c.checkpointTo(vc, nil, done)
+}
+
+// Migrate checkpoints the VC and restores it onto targets — the paper's
+// §4 next step: "Extending LSC to enable parallel migration". The
+// ContinueAfterSave setting is ignored: a migration always cycles.
+func (c *Coordinator) Migrate(vc *VirtualCluster, targets []*phys.Node, done func(*CheckpointResult)) error {
+	if len(targets) != vc.spec.Nodes {
+		return fmt.Errorf("lsc: migrate %s: %d targets, want %d", vc.spec.Name, len(targets), vc.spec.Nodes)
+	}
+	return c.checkpointTo(vc, targets, done)
+}
+
+func (c *Coordinator) checkpointTo(vc *VirtualCluster, targets []*phys.Node, done func(*CheckpointResult)) error {
+	if vc.state != VCReady {
+		return fmt.Errorf("lsc: checkpoint %s: cluster is %v", vc.spec.Name, vc.state)
+	}
+	res := &CheckpointResult{VC: vc.spec.Name, Generation: vc.nextGen, targets: targets}
+	vc.nextGen++
+	c.AttemptCount++
+	c.attempt(vc, res, 1, done)
+	return nil
+}
+
+func (c *Coordinator) attempt(vc *VirtualCluster, res *CheckpointResult, attempt int, done func(*CheckpointResult)) {
+	k := c.mgr.kernel
+	res.Attempts = attempt
+	plan := c.pausePlan(vc)
+
+	// Health check (§4 extension): the coordinator verifies every
+	// sleeper before the save instant and aborts the round cleanly if
+	// one has died, retrying with fresh processes.
+	if c.cfg.HealthCheck {
+		dead := false
+		for _, t := range plan {
+			if t < 0 {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			if attempt > c.cfg.HealthRetries {
+				c.finishFail(res, "health check: sleeper dead and retries exhausted", done)
+				return
+			}
+			// Abort before anything paused; retry after a beat.
+			k.After(sim.Second, func() { c.attempt(vc, res, attempt+1, done) })
+			return
+		}
+	}
+
+	var first, last sim.Time = -1, -1
+	scheduled := 0
+	missing := 0
+	for _, t := range plan {
+		if t < 0 {
+			missing++
+			continue
+		}
+		if first < 0 || t < first {
+			first = t
+		}
+		if t > last {
+			last = t
+		}
+		scheduled++
+	}
+	if scheduled == 0 {
+		c.finishFail(res, "no sleeper survived", done)
+		return
+	}
+	res.SaveSkew = last - first
+	if missing > 0 {
+		// Without a health check the coordinator only discovers the
+		// missing save when it waits for confirmations: the job is
+		// doomed (one VM keeps running against frozen peers).
+		res.Reason = fmt.Sprintf("%d vm(s) never saved (sleeper died)", missing)
+	}
+
+	remaining := scheduled
+	vc.state = VCPaused
+	for i, t := range plan {
+		if t < 0 {
+			continue
+		}
+		d := vc.domains[i]
+		k.At(t, func() {
+			if d.State() == vm.StateRunning {
+				if err := d.Pause(); err != nil {
+					res.Reason = err.Error()
+				}
+			} else if res.Reason == "" {
+				res.Reason = fmt.Sprintf("domain %s was %v at save time", d.Name(), d.State())
+			}
+			remaining--
+			if remaining == 0 {
+				c.afterPaused(vc, res, first, done)
+			}
+		})
+	}
+}
+
+// afterPaused captures and stores images, then resumes or cycles.
+func (c *Coordinator) afterPaused(vc *VirtualCluster, res *CheckpointResult, firstPause sim.Time, done func(*CheckpointResult)) {
+	k := c.mgr.kernel
+	// Capture every paused domain (full or incremental per the policy).
+	full := c.cfg.isFullGeneration(res.Generation)
+	for _, d := range vc.domains {
+		if d.State() != vm.StatePaused {
+			continue
+		}
+		var img *vm.Image
+		var err error
+		if full {
+			img, err = d.CaptureImage()
+		} else {
+			img, err = d.CaptureIncrementalImage()
+		}
+		if err != nil {
+			c.finishFail(res, err.Error(), done)
+			return
+		}
+		d.MarkClean()
+		res.Images = append(res.Images, img)
+	}
+	if res.Reason != "" {
+		// Incomplete set: release the paused VMs back (the job will have
+		// died anyway) and report failure.
+		for _, d := range vc.domains {
+			if d.State() == vm.StatePaused {
+				_ = d.Unpause()
+			}
+		}
+		vc.state = VCReady
+		c.finishFail(res, res.Reason, done)
+		return
+	}
+
+	// Write the set to shared storage (fair-share bandwidth).
+	storeStart := k.Now()
+	writes := len(res.Images)
+	for _, img := range res.Images {
+		img := img
+		c.mgr.store.Write(imageKey(vc.spec.Name, res.Generation, img.DomainName), img, func() {
+			writes--
+			if writes == 0 {
+				res.StoreTime = k.Now() - storeStart
+				c.afterStored(vc, res, firstPause, done)
+			}
+		})
+	}
+}
+
+func (c *Coordinator) afterStored(vc *VirtualCluster, res *CheckpointResult, firstPause sim.Time, done func(*CheckpointResult)) {
+	k := c.mgr.kernel
+	if c.cfg.ContinueAfterSave && res.targets == nil {
+		// Resume in place with the same skew model (the resume command
+		// fans out the same way the save did).
+		c.resumeAll(vc, func() {
+			res.Downtime = k.Now() - firstPause
+			c.finishOK(vc, res, done)
+		})
+		return
+	}
+	// Xen-2007 cycle: save destroys the domains; restore from images on
+	// the same placement (or the migration targets).
+	placement := res.targets
+	if placement == nil {
+		placement = append([]*phys.Node(nil), vc.nodes...)
+	}
+	for _, d := range vc.domains {
+		d.Destroy()
+	}
+	vc.state = VCSaved
+	c.RestoreVC(vc, res.Generation, placement, func(rr *RestoreResult) {
+		res.Downtime = k.Now() - firstPause
+		if !rr.OK {
+			c.finishFail(res, "restore: "+rr.Reason, done)
+			return
+		}
+		c.finishOK(vc, res, done)
+	})
+}
+
+// resumeAll unpauses every paused domain using the mode's dispatch skew.
+func (c *Coordinator) resumeAll(vc *VirtualCluster, then func()) {
+	k := c.mgr.kernel
+	plan := c.resumePlan(vc)
+	remaining := 0
+	for _, t := range plan {
+		if t >= 0 {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		then()
+		return
+	}
+	for i, t := range plan {
+		if t < 0 {
+			continue
+		}
+		d := vc.domains[i]
+		k.At(t, func() {
+			if d.State() == vm.StatePaused {
+				_ = d.Unpause()
+			}
+			remaining--
+			if remaining == 0 {
+				vc.state = VCReady
+				then()
+			}
+		})
+	}
+}
+
+// pausePlanNoFailure is the dispatch plan without sleeper failures
+// (resume commands are issued by the live coordinator, not by sleeping
+// processes).
+func (c *Coordinator) pausePlanNoFailure(vc *VirtualCluster) []sim.Time {
+	saved := c.cfg.SleeperFailProb
+	c.cfg.SleeperFailProb = 0
+	plan := c.pausePlan(vc)
+	c.cfg.SleeperFailProb = saved
+	return plan
+}
+
+// resumePlan schedules the unpause fan-out. Unlike the save, a resume
+// needs no future scheduling: the coordinator pushes unpause commands
+// directly. Under the NTP coordinator that is a parallel management-RPC
+// fan-out (milliseconds of jitter); the naive coordinator still pays its
+// serial terminal dispatch — which is why its restores are as fragile as
+// its saves.
+func (c *Coordinator) resumePlan(vc *VirtualCluster) []sim.Time {
+	k := c.mgr.kernel
+	rng := k.Rand()
+	times := make([]sim.Time, len(vc.domains))
+	if c.cfg.Mode == LSCNaive {
+		return c.pausePlanNoFailure(vc)
+	}
+	for i := range times {
+		rpc := 2*sim.Millisecond + sim.LogNormal(rng, c.cfg.TimerJitterMed, c.cfg.TimerJitterSigma)
+		times[i] = k.Now() + rpc
+	}
+	return times
+}
+
+// RestoreVC restores a saved generation of a VC onto the given placement
+// and resumes it. The VC object is rebound to the new domains.
+func (c *Coordinator) RestoreVC(vc *VirtualCluster, gen int, placement []*phys.Node, done func(*RestoreResult)) {
+	k := c.mgr.kernel
+	res := &RestoreResult{VC: vc.spec.Name, Generation: gen}
+	if len(placement) != vc.spec.Nodes {
+		res.Reason = fmt.Sprintf("placement has %d nodes, want %d", len(placement), vc.spec.Nodes)
+		res.FinishedAt = k.Now()
+		done(res)
+		return
+	}
+	stageStart := k.Now()
+	images := make([]*vm.Image, vc.spec.Nodes)
+	reads := vc.spec.Nodes
+	failed := false
+	for i := 0; i < vc.spec.Nodes; i++ {
+		i := i
+		name := fmt.Sprintf("%s-vm%02d", vc.spec.Name, i)
+		// Incremental generations restore from a chain: the full base
+		// plus every increment up to gen. Each element is staged
+		// (charged); the newest image carries the functional state.
+		chain := c.chainKeys(vc.spec.Name, gen, name)
+		pending := len(chain)
+		for _, key := range chain {
+			key := key
+			c.mgr.store.Read(key, func(img *vm.Image, err error) {
+				if err != nil && !failed {
+					failed = true
+					res.Reason = err.Error()
+				}
+				if key == chain[len(chain)-1] {
+					images[i] = img
+				}
+				pending--
+				if pending != 0 {
+					return
+				}
+				reads--
+				if reads == 0 {
+					res.StageTime = k.Now() - stageStart
+					if failed {
+						res.FinishedAt = k.Now()
+						done(res)
+						return
+					}
+					c.materialize(vc, images, placement, res, done)
+				}
+			})
+		}
+	}
+}
+
+// chainKeys lists the storage keys needed to restore generation gen of
+// one domain: walking back from gen through incremental images to the
+// most recent full base.
+func (c *Coordinator) chainKeys(vcName string, gen int, domain string) []string {
+	base := gen
+	for base > 0 {
+		obj, ok := c.mgr.store.Stat(imageKey(vcName, base, domain))
+		if !ok || !obj.Image.Incremental {
+			break
+		}
+		base--
+	}
+	keys := make([]string, 0, gen-base+1)
+	for g := base; g <= gen; g++ {
+		keys = append(keys, imageKey(vcName, g, domain))
+	}
+	return keys
+}
+
+func (c *Coordinator) materialize(vc *VirtualCluster, images []*vm.Image, placement []*phys.Node, res *RestoreResult, done func(*RestoreResult)) {
+	k := c.mgr.kernel
+	newDomains := make([]*vm.Domain, len(images))
+	for i, img := range images {
+		h := c.mgr.hvs[placement[i].ID()]
+		d, err := h.RestoreDomain(img, nil)
+		if err != nil {
+			res.Reason = err.Error()
+			res.FinishedAt = k.Now()
+			// Roll back the ones we created.
+			for _, nd := range newDomains {
+				if nd != nil {
+					nd.Destroy()
+				}
+			}
+			done(res)
+			return
+		}
+		newDomains[i] = d
+	}
+	vc.domains = newDomains
+	vc.nodes = append([]*phys.Node(nil), placement...)
+	vc.state = VCPaused
+	c.resumeAll(vc, func() {
+		res.OK = true
+		res.FinishedAt = k.Now()
+		done(res)
+	})
+}
+
+func (c *Coordinator) finishOK(vc *VirtualCluster, res *CheckpointResult, done func(*CheckpointResult)) {
+	res.OK = true
+	res.FinishedAt = c.mgr.kernel.Now()
+	done(res)
+}
+
+func (c *Coordinator) finishFail(res *CheckpointResult, reason string, done func(*CheckpointResult)) {
+	c.FailCount++
+	res.OK = false
+	if res.Reason == "" {
+		res.Reason = reason
+	} else if reason != res.Reason {
+		res.Reason = reason
+	}
+	res.FinishedAt = c.mgr.kernel.Now()
+	done(res)
+}
+
+// InspectImages checks a captured set for consistency damage: any TCP
+// connection that reset, or any process that exited with an error,
+// before the snapshot was taken. A clean bill here is the paper's "no
+// failures to either save or restore".
+func InspectImages(images []*vm.Image) error {
+	for _, img := range images {
+		snap, err := guest.DecodeImage(img.Data)
+		if err != nil {
+			return fmt.Errorf("inspect %s: %w", img.DomainName, err)
+		}
+		for _, cs := range snap.Stack.Conns {
+			if cs.State == tcp.StateReset {
+				return fmt.Errorf("inspect %s: connection %v reset before snapshot", img.DomainName, cs.Key)
+			}
+		}
+		for _, ps := range snap.Procs {
+			if ps.Exited && ps.ExitCode != 0 {
+				return fmt.Errorf("inspect %s: pid %d exited %d before snapshot", img.DomainName, ps.PID, ps.ExitCode)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Checkpoint-store hygiene: a periodically checkpointed long job writes a
+// new generation every interval; old generations are useless once newer
+// ones exist — except that incremental chains must stay intact back to
+// the newest kept generation's full base.
+
+// Generations lists the checkpoint generations stored for a VC, sorted.
+func (c *Coordinator) Generations(vcName string) []int {
+	prefix := fmt.Sprintf("lsc/%s/", vcName)
+	seen := map[int]bool{}
+	for _, key := range c.mgr.store.Keys(prefix) {
+		rest := strings.TrimPrefix(key, prefix)
+		genStr, _, ok := strings.Cut(rest, "/")
+		if !ok {
+			continue
+		}
+		gen, err := strconv.Atoi(genStr)
+		if err != nil {
+			continue
+		}
+		seen[gen] = true
+	}
+	gens := make([]int, 0, len(seen))
+	for g := range seen {
+		gens = append(gens, g)
+	}
+	sort.Ints(gens)
+	return gens
+}
+
+// PruneGenerations deletes stored generations beyond the newest `keep`,
+// preserving any older generations that kept incremental chains still
+// depend on. It returns the number of image objects deleted. Deletion is
+// a metadata operation on the store (no transfer time).
+func (c *Coordinator) PruneGenerations(vcName string, keep int) int {
+	if keep < 1 {
+		keep = 1
+	}
+	gens := c.Generations(vcName)
+	if len(gens) <= keep {
+		return 0
+	}
+	kept := gens[len(gens)-keep:]
+	oldestKept := kept[0]
+
+	// A kept incremental generation needs its chain: find, per domain,
+	// the full base at or below the oldest kept generation.
+	prefix := fmt.Sprintf("lsc/%s/", vcName)
+	needed := map[string]bool{}
+	domains := map[string]bool{}
+	for _, key := range c.mgr.store.Keys(prefix) {
+		rest := strings.TrimPrefix(key, prefix)
+		if _, domain, ok := strings.Cut(rest, "/"); ok {
+			domains[domain] = true
+		}
+	}
+	for domain := range domains {
+		base := oldestKept
+		for base > 0 {
+			obj, ok := c.mgr.store.Stat(imageKey(vcName, base, domain))
+			if !ok || !obj.Image.Incremental {
+				break
+			}
+			base--
+		}
+		for g := base; g <= oldestKept; g++ {
+			needed[imageKey(vcName, g, domain)] = true
+		}
+	}
+
+	deleted := 0
+	for _, g := range gens[:len(gens)-keep] {
+		for domain := range domains {
+			key := imageKey(vcName, g, domain)
+			if needed[key] || !c.mgr.store.Has(key) {
+				continue
+			}
+			c.mgr.store.Delete(key)
+			deleted++
+		}
+	}
+	return deleted
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvc/internal/clock"
+	"dvc/internal/core"
+	"dvc/internal/guest"
+	"dvc/internal/hpcc"
+	"dvc/internal/metrics"
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+)
+
+func init() {
+	register("A1", "Ablation: the TCP retry budget sets the LSC failure cliff", runA1)
+	register("A2", "Ablation: how much clock error NTP-scheduled LSC tolerates", runA2)
+}
+
+// lscTrialWith is lscTrial with custom transport/clock configuration.
+func lscTrialWith(seed int64, nodes int, o bedOptions) lscTrialResult {
+	b := makeBed(seed, o)
+	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
+	vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(1500, 20*sim.Millisecond, 4096) })
+	b.k.RunFor(2 * sim.Second)
+	res := b.checkpointOnce(vc, 10*sim.Minute)
+	out := lscTrialResult{}
+	if res == nil {
+		out.reason = "checkpoint never completed"
+		return out
+	}
+	out.skew = res.SaveSkew
+	out.downtime = res.Downtime
+	out.attempts = res.Attempts
+	if !res.OK {
+		out.reason = res.Reason
+		return out
+	}
+	if err := core.InspectImages(res.Images); err != nil {
+		out.reason = err.Error()
+		return out
+	}
+	if !b.runJob(vc, 2*sim.Hour).AllOK() {
+		out.reason = "job failed after restore"
+		return out
+	}
+	out.ok = true
+	return out
+}
+
+// runA1 ablates the design constant DESIGN.md calls out: LSC's entire
+// tolerance to save skew comes from the transport's retry budget. A
+// smaller budget moves the naive coordinator's failure cliff toward
+// smaller clusters; a bigger budget pushes it out. (The paper's fix —
+// bounding skew with NTP — makes the budget irrelevant, which is the
+// point of the last column.)
+func runA1(opts Options) *Result {
+	res := &Result{}
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 8
+	}
+	const nodes = 10 // the paper's 50% point at the default budget
+
+	tbl := metrics.NewTable(fmt.Sprintf("A1: naive LSC failure at %d nodes vs TCP retry budget", nodes),
+		"max-retries", "retry budget", "naive fail%", "ntp fail%")
+	failAt := map[int]float64{}
+	for _, retries := range []int{2, 4, 6} {
+		cfg := tcp.DefaultConfig()
+		cfg.MaxRetries = retries
+		budget := cfg.RetryBudget(cfg.InitialRTO)
+		naiveFails, ntpFails := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			o := bedOptions{
+				clusters: map[string]int{"alpha": nodes},
+				lsc:      core.DefaultNaiveLSC(),
+				tcpCfg:   &cfg,
+			}
+			if !lscTrialWith(opts.Seed+int64(retries*1000+trial), nodes, o).ok {
+				naiveFails++
+			}
+			o.lsc = core.DefaultNTPLSC()
+			o.ntp = true
+			if !lscTrialWith(opts.Seed+int64(retries*1000+trial+500), nodes, o).ok {
+				ntpFails++
+			}
+		}
+		failAt[retries] = pct(naiveFails, trials)
+		tbl.Row(retries, budget, failAt[retries], pct(ntpFails, trials))
+	}
+	res.table(tbl, opts.out())
+
+	res.check("shorter budget fails more", failAt[2] > failAt[6],
+		"retries=2: %.0f%% vs retries=6: %.0f%%", failAt[2], failAt[6])
+	res.check("tight budget is (nearly) always fatal for the naive coordinator",
+		failAt[2] >= 75, "%.0f%%", failAt[2])
+	return res
+}
+
+// runA2 ablates the clock-quality requirement: NTP's few-millisecond
+// residual is thousands of times tighter than LSC needs — the method only
+// starts failing when clock error approaches the (half) retry budget,
+// i.e. for clocks so bad no one would call them synchronised.
+func runA2(opts Options) *Result {
+	res := &Result{}
+	trials := opts.Trials
+	if trials == 0 {
+		trials = 8
+	}
+	const nodes = 12
+
+	tbl := metrics.NewTable(fmt.Sprintf("A2: NTP-scheduled LSC at %d nodes vs clock residual error", nodes),
+		"residual std", "skew.mean", "fail%")
+	fails := map[sim.Time]float64{}
+	residuals := []sim.Time{
+		1500 * sim.Microsecond, // real LAN NTP (the paper's setting)
+		100 * sim.Millisecond,  // badly congested NTP
+		800 * sim.Millisecond,  // barely disciplined
+		2 * sim.Second,         // effectively unsynchronised
+	}
+	for _, residual := range residuals {
+		ntpCfg := clock.DefaultNTPConfig()
+		ntpCfg.ResidualStd = residual
+		failures := 0
+		var skew metrics.Sample
+		for trial := 0; trial < trials; trial++ {
+			o := bedOptions{
+				clusters: map[string]int{"alpha": nodes},
+				lsc:      core.DefaultNTPLSC(),
+				ntp:      true,
+				ntpCfg:   &ntpCfg,
+			}
+			// The save instant must sit beyond the worst clock error.
+			o.lsc.ScheduleLead = 2*sim.Second + 8*residual
+			r := lscTrialWith(opts.Seed+int64(residual)+int64(trial), nodes, o)
+			if !r.ok {
+				failures++
+			}
+			skew.AddTime(r.skew)
+		}
+		fails[residual] = pct(failures, trials)
+		tbl.Row(residual, fmtSeconds(skew.Mean()), fails[residual])
+	}
+	res.table(tbl, opts.out())
+
+	res.check("paper-grade NTP never fails", fails[residuals[0]] == 0,
+		"%.0f%%", fails[residuals[0]])
+	res.check("100ms-class clocks still fine (huge safety margin)",
+		fails[residuals[1]] == 0, "%.0f%%", fails[residuals[1]])
+	res.check("unsynchronised clocks break LSC", fails[residuals[3]] > 0,
+		"%.0f%% at 2s residual", fails[residuals[3]])
+	return res
+}

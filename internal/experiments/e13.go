@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvc/internal/core"
+	"dvc/internal/hpcc"
+	"dvc/internal/metrics"
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+)
+
+func init() {
+	register("E13", "Extension: pre-copy live migration vs LSC stop-and-copy", runE13)
+}
+
+// runE13 extends §4's migration work item with pre-copy live migration:
+// the bulk of guest memory moves while the cluster keeps computing, so
+// downtime shrinks from RAM/bandwidth to residual/bandwidth — until the
+// guests dirty memory faster than the wire drains it, where pre-copy
+// degenerates toward stop-and-copy with extra traffic.
+func runE13(opts Options) *Result {
+	res := &Result{}
+	const nodes = 4
+
+	type out struct {
+		down   sim.Time
+		total  sim.Time
+		rounds int
+		copied int64
+		ok     bool
+	}
+	run := func(seed int64, dirtyRate float64, live bool) out {
+		b := newBed(seed, map[string]int{"alpha": nodes, "beta": nodes}, coreNTP(), true)
+		vc, err := b.mgr.Allocate(core.VCSpec{Name: "m", Nodes: nodes, VMRAM: vmRAM, Clusters: []string{"alpha"}}, nil)
+		if err != nil {
+			panic(err)
+		}
+		b.k.RunFor(30 * sim.Second)
+		vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(1<<20, 20*sim.Millisecond, 1024) })
+		b.k.RunFor(sim.Second)
+		for _, d := range vc.Domains() {
+			d.SetDirtyRate(dirtyRate)
+		}
+		targets := b.site.UpNodes("beta")
+		o := out{}
+		deadline := b.k.Now() + 30*sim.Minute
+		if live {
+			var r *core.LiveMigrationResult
+			if err := b.co.LiveMigrate(vc, targets, core.DefaultLiveConfig(), func(lr *core.LiveMigrationResult) { r = lr }); err != nil {
+				panic(err)
+			}
+			for r == nil && b.k.Now() < deadline {
+				b.k.RunFor(sim.Second)
+			}
+			if r != nil && r.OK {
+				o = out{down: r.Downtime, total: r.TotalTime, rounds: r.Rounds, copied: r.BytesCopied, ok: true}
+			}
+		} else {
+			var r *core.CheckpointResult
+			start := b.k.Now()
+			if err := b.co.Migrate(vc, targets, func(cr *core.CheckpointResult) { r = cr }); err != nil {
+				panic(err)
+			}
+			for r == nil && b.k.Now() < deadline {
+				b.k.RunFor(sim.Second)
+			}
+			if r != nil && r.OK {
+				copied := int64(0)
+				for _, img := range r.Images {
+					copied += 2 * img.SizeBytes() // store write + read
+				}
+				o = out{down: r.Downtime, total: b.k.Now() - start, rounds: 1, copied: copied, ok: true}
+			}
+		}
+		// The guests must survive either way.
+		if o.ok {
+			for _, node := range vc.PhysicalNodes() {
+				if node.Cluster() != "beta" {
+					o.ok = false
+				}
+			}
+		}
+		return o
+	}
+
+	tbl := metrics.NewTable(fmt.Sprintf("E13: migrating a running %d-VM cluster (%d MiB guests)", nodes, vmRAM>>20),
+		"guest dirty rate", "method", "downtime", "total", "rounds", "bytes moved")
+	outs := map[string]out{}
+	for i, rate := range []float64{5e6, 40e6, 100e6} {
+		stop := run(opts.Seed+int64(i), rate, false)
+		live := run(opts.Seed+int64(i), rate, true)
+		key := fmt.Sprintf("%.0f", rate/1e6)
+		outs["stop"+key] = stop
+		outs["live"+key] = live
+		label := fmt.Sprintf("%.0f MB/s", rate/1e6)
+		tbl.Row(label, "stop-and-copy", stop.down, stop.total, stop.rounds, fmtBytes(stop.copied))
+		tbl.Row(label, "pre-copy live", live.down, live.total, live.rounds, fmtBytes(live.copied))
+	}
+	res.table(tbl, opts.out())
+
+	res.check("all migrations complete",
+		outs["stop5"].ok && outs["live5"].ok && outs["stop100"].ok && outs["live100"].ok, "")
+	res.check("pre-copy slashes downtime for calm guests",
+		outs["live5"].down*5 < outs["stop5"].down,
+		"live %v vs stop %v", outs["live5"].down, outs["stop5"].down)
+	res.check("hot guests erode the pre-copy win",
+		outs["live100"].down > outs["live5"].down,
+		"100MB/s: %v vs 5MB/s: %v", outs["live100"].down, outs["live5"].down)
+	res.check("pre-copy pays with extra traffic on hot guests",
+		outs["live100"].copied > outs["stop100"].copied/2+int64(nodes)*vmRAM,
+		"live moved %s vs stop %s", fmtBytes(outs["live100"].copied), fmtBytes(outs["stop100"].copied))
+	return res
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvc/internal/core"
+	"dvc/internal/guest"
+	"dvc/internal/hpcc"
+	"dvc/internal/metrics"
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+)
+
+func init() {
+	register("E14", "Extension: page-level incremental checkpoints", runE14)
+}
+
+// runE14 extends the checkpoint-cost story (E4/E5) with page-level
+// incremental images: after a full base, each generation ships only the
+// pages dirtied since the last save, cutting store traffic and save
+// stalls — at the price of staging a chain on restore. Periodic full
+// consolidation bounds the chain.
+func runE14(opts Options) *Result {
+	res := &Result{}
+	const (
+		nodes     = 4
+		cycles    = 6
+		dirtyRate = 6e6
+	)
+
+	type out struct {
+		bytesWritten int64
+		meanStore    sim.Time
+		meanDown     sim.Time
+		restoreStage sim.Time
+		jobOK        bool
+	}
+	run := func(seed int64, incremental bool, fullEvery int) out {
+		lsc := core.DefaultNTPLSC()
+		lsc.ContinueAfterSave = true
+		lsc.Incremental = incremental
+		lsc.FullEvery = fullEvery
+		b := newBed(seed, map[string]int{"alpha": nodes * 2}, lsc, true)
+		vc := b.allocate("inc", nodes, guest.WatchdogConfig{})
+		vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(30000, 20*sim.Millisecond, 1024) })
+		for _, d := range vc.Domains() {
+			d.SetDirtyRate(dirtyRate)
+		}
+		b.k.RunFor(sim.Second)
+
+		o := out{}
+		var gens []*core.CheckpointResult
+		for i := 0; i < cycles; i++ {
+			var r *core.CheckpointResult
+			if err := b.co.Checkpoint(vc, func(cr *core.CheckpointResult) { r = cr }); err != nil {
+				panic(err)
+			}
+			for r == nil {
+				b.k.RunFor(sim.Second)
+			}
+			if !r.OK {
+				panic("E14 checkpoint failed: " + r.Reason)
+			}
+			gens = append(gens, r)
+			for _, img := range r.Images {
+				o.bytesWritten += img.SizeBytes()
+			}
+			o.meanStore += r.StoreTime
+			o.meanDown += r.Downtime
+			b.k.RunFor(10 * sim.Second)
+		}
+		o.meanStore /= cycles
+		o.meanDown /= cycles
+
+		// Fail a node and recover from the newest generation: the restore
+		// stages the whole chain when incremental.
+		vc.PhysicalNodes()[0].Fail()
+		b.k.RunFor(2 * sim.Second)
+		vc.Teardown()
+		targets := b.site.UpNodes("alpha")[:nodes]
+		var rr *core.RestoreResult
+		b.co.RestoreVC(vc, gens[len(gens)-1].Generation, targets, func(r *core.RestoreResult) { rr = r })
+		deadline := b.k.Now() + 30*sim.Minute
+		for rr == nil && b.k.Now() < deadline {
+			b.k.RunFor(sim.Second)
+		}
+		if rr == nil || !rr.OK {
+			panic("E14 restore failed")
+		}
+		o.restoreStage = rr.StageTime
+		o.jobOK = b.runJob(vc, 2*sim.Hour).AllOK()
+		return o
+	}
+
+	full := run(opts.Seed, false, 0)
+	inc := run(opts.Seed, true, 0)
+	cons := run(opts.Seed, true, 3)
+
+	tbl := metrics.NewTable(fmt.Sprintf("E14: %d checkpoint cycles of a %d-VM cluster (%d MiB guests, %.0f MB/s dirty)",
+		cycles, nodes, vmRAM>>20, dirtyRate/1e6),
+		"policy", "store traffic", "store/ckpt", "downtime/ckpt", "restore stage", "job")
+	tbl.Row("full every time", fmtBytes(full.bytesWritten), full.meanStore, full.meanDown, full.restoreStage, okStr(full.jobOK))
+	tbl.Row("incremental", fmtBytes(inc.bytesWritten), inc.meanStore, inc.meanDown, inc.restoreStage, okStr(inc.jobOK))
+	tbl.Row("incremental, full every 3", fmtBytes(cons.bytesWritten), cons.meanStore, cons.meanDown, cons.restoreStage, okStr(cons.jobOK))
+	res.table(tbl, opts.out())
+
+	res.check("all policies recover the job", full.jobOK && inc.jobOK && cons.jobOK, "")
+	res.check("incremental slashes store traffic",
+		inc.bytesWritten*2 < full.bytesWritten,
+		"%s vs %s", fmtBytes(inc.bytesWritten), fmtBytes(full.bytesWritten))
+	res.check("incremental shrinks per-checkpoint downtime",
+		inc.meanDown < full.meanDown,
+		"%v vs %v", inc.meanDown, full.meanDown)
+	res.check("chain restore costs more staging than a full restore",
+		inc.restoreStage > full.restoreStage,
+		"%v vs %v", inc.restoreStage, full.restoreStage)
+	res.check("consolidation bounds the restore chain",
+		cons.restoreStage < inc.restoreStage,
+		"%v vs %v", cons.restoreStage, inc.restoreStage)
+	return res
+}
+
+func okStr(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "FAILED"
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"dvc/internal/core"
+	"dvc/internal/guest"
+	"dvc/internal/hpcc"
+	"dvc/internal/metrics"
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+)
+
+func init() {
+	register("E2", "NTP LSC: save/restore reliability at 26 VMs on 26 nodes (§3.2)", runE2)
+}
+
+// runE2 reproduces the paper's headline result: "In more than 2000 tests
+// involving 26 virtual machines on 26 different nodes, no failures to
+// either save or restore all virtual machines occurred." Both PTRANS and
+// HPL are exercised (PTRANS being the communication-heavy consistency
+// stress), across problem sizes and checkpoint timings, plus a bulk
+// halo-exchange volume run for the trial count.
+func runE2(opts Options) *Result {
+	res := &Result{}
+	const nodes = 26
+
+	// Volume trials (halo workload, cheap): paper-scale count with -full.
+	volume := opts.Trials
+	if volume == 0 {
+		volume = 30
+	}
+	if opts.Full {
+		volume = 2000
+	}
+	lsc := core.DefaultNTPLSC()
+
+	tbl := metrics.NewTable("E2: NTP-coordinated LSC, 26 VMs on 26 nodes",
+		"workload", "trials", "save/restore failures", "skew.mean", "skew.max", "downtime.mean")
+
+	type row struct {
+		name     string
+		trials   int
+		failures int
+		skew     metrics.Sample
+		down     metrics.Sample
+	}
+
+	// Bulk trials with continuous halo traffic.
+	bulk := row{name: "halo-26", trials: volume}
+	for trial := 0; trial < volume; trial++ {
+		r := lscTrial(opts.Seed+int64(trial), nodes, lsc, true)
+		if !r.ok {
+			bulk.failures++
+		}
+		bulk.skew.AddTime(r.skew)
+		bulk.down.AddTime(r.downtime)
+	}
+	tbl.Row(bulk.name, bulk.trials, bulk.failures,
+		fmtSeconds(bulk.skew.Mean()), fmtSeconds(bulk.skew.Max()), fmtSeconds(bulk.down.Mean()))
+
+	// PTRANS and HPL trials across problem sizes and checkpoint delays,
+	// verified numerically after restore.
+	hpccTrials := 3
+	if opts.Full {
+		hpccTrials = 10
+	}
+	ptransFail, hplFail := 0, 0
+	var ptransSkew, hplSkew metrics.Sample
+	nPT, nHPL := 0, 0
+	for _, n := range []int{26, 52} {
+		n := n
+		for trial := 0; trial < hpccTrials; trial++ {
+			trial := trial
+			// PTRANS: ~1200 repetitions keep traffic flowing through the
+			// save instant (the paper's consistency stress).
+			if !hpccLSCTrial(opts.Seed+int64(7000+n+trial), nodes, lsc, true,
+				func(int) mpi.App { return hpcc.NewPTRANS(n, int64(trial), 1200, 0.02) }, &ptransSkew) {
+				ptransFail++
+			}
+			nPT++
+			// HPL: pick a compute rate that stretches the factorisation
+			// to ~8 s of simulated time so the checkpoint lands mid-run.
+			hn := 4 * n
+			rate := (2.0 / 3.0 * float64(hn) * float64(hn) * float64(hn) / float64(nodes)) / 8 / 1e9
+			if !hpccLSCTrial(opts.Seed+int64(8000+n+trial), nodes, lsc, true,
+				func(int) mpi.App { return hpcc.NewHPL(hn, int64(trial), rate) }, &hplSkew) {
+				hplFail++
+			}
+			nHPL++
+		}
+	}
+	tbl.Row("ptrans", nPT, ptransFail, fmtSeconds(ptransSkew.Mean()), fmtSeconds(ptransSkew.Max()), "-")
+	tbl.Row("hpl", nHPL, hplFail, fmtSeconds(hplSkew.Mean()), fmtSeconds(hplSkew.Max()), "-")
+	res.table(tbl, opts.out())
+
+	total := bulk.trials + nPT + nHPL
+	failures := bulk.failures + ptransFail + hplFail
+	res.check("zero save/restore failures", failures == 0,
+		"%d failures in %d trials (paper: 0 in >2000)", failures, total)
+	res.check("NTP skew is milliseconds", bulk.skew.Max() < 0.05,
+		"max skew %.1f ms", bulk.skew.Max()*1000)
+	return res
+}
+
+// hpccLSCTrial is lscTrial for a verified HPCC workload: checkpoint
+// mid-run, then require successful completion AND numerical verification.
+func hpccLSCTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool, makeApp func(int) mpi.App, skew *metrics.Sample) bool {
+	b := newBed(seed, map[string]int{"alpha": nodes}, lsc, ntp)
+	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
+	vc.LaunchMPI(6000, makeApp)
+	b.k.RunFor(2 * sim.Second)
+	res := b.checkpointOnce(vc, 10*sim.Minute)
+	if res == nil || !res.OK {
+		return false
+	}
+	skew.AddTime(res.SaveSkew)
+	if core.InspectImages(res.Images) != nil {
+		return false
+	}
+	js := b.runJob(vc, 4*sim.Hour)
+	if !js.AllOK() {
+		return false
+	}
+	for _, app := range vc.RankApps() {
+		switch a := app.(type) {
+		case *hpcc.PTRANS:
+			if !a.Passed {
+				return false
+			}
+		case *hpcc.HPL:
+			if !a.Passed {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

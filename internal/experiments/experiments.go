@@ -1,0 +1,148 @@
+// Package experiments regenerates every quantitative claim in the paper's
+// evaluation (plus the extension experiments DESIGN.md catalogues). Each
+// experiment is a named runner that prints paper-style tables and returns
+// machine-checkable "shape" assertions: who wins, by roughly what factor,
+// and where the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dvc/internal/metrics"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Trials scales statistical experiments; 0 = the experiment's quick
+	// default.
+	Trials int
+	// Full requests paper-scale parameters (e.g. E2's >2000 trials);
+	// expect long runtimes.
+	Full bool
+	// Out receives the printed tables; nil discards them.
+	Out io.Writer
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// Check is one shape assertion against the paper.
+type Check struct {
+	Name   string
+	OK     bool
+	Detail string
+}
+
+// Result is an experiment's outcome.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Checks []Check
+}
+
+// AllOK reports whether every shape check passed.
+func (r *Result) AllOK() bool {
+	for _, c := range r.Checks {
+		if !c.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks lists the failed assertions.
+func (r *Result) FailedChecks() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.OK {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (r *Result) check(name string, ok bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, OK: ok, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (r *Result) table(t *metrics.Table, w io.Writer) {
+	r.Tables = append(r.Tables, t)
+	fmt.Fprintln(w, t.String())
+}
+
+// Runner executes one experiment.
+type Runner func(Options) *Result
+
+type entry struct {
+	id, title string
+	run       Runner
+}
+
+var registry []entry
+
+func register(id, title string, run Runner) {
+	registry = append(registry, entry{id, title, run})
+}
+
+// IDs lists registered experiment ids in order.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Title returns an experiment's title.
+func Title(id string) string {
+	for _, e := range registry {
+		if e.id == id {
+			return e.title
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opts Options) (*Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			fmt.Fprintf(opts.out(), "--- %s: %s ---\n", e.id, e.title)
+			res := e.run(opts)
+			res.ID, res.Title = e.id, e.title
+			for _, c := range res.Checks {
+				status := "PASS"
+				if !c.OK {
+					status = "FAIL"
+				}
+				fmt.Fprintf(opts.out(), "check %-40s %s  (%s)\n", c.Name, status, c.Detail)
+			}
+			fmt.Fprintln(opts.out())
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(opts Options) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryListsAllExperiments(t *testing.T) {
+	ids := IDs()
+	want := []string{"A1", "A2", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+	if len(ids) != len(want) {
+		t.Fatalf("IDs() = %v", ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Fatalf("IDs()[%d] = %s, want %s", i, ids[i], id)
+		}
+	}
+	for _, id := range ids {
+		if Title(id) == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperimentErrors(t *testing.T) {
+	if _, err := Run("E99", Options{}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if Title("E99") != "" {
+		t.Fatal("unknown id has a title")
+	}
+}
+
+func TestOutputGoesToWriter(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Run("E3", Options{Seed: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E3: snapshot cuts") {
+		t.Fatalf("output missing table:\n%s", buf.String())
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no tables recorded")
+	}
+}
+
+// fast experiments run in every test invocation; the statistical sweeps
+// are skipped with -short.
+func TestE3ConsistentCut(t *testing.T)   { expectOK(t, "E3", 0) }
+func TestE5CheckpointCosts(t *testing.T) { expectOK(t, "E5", 0) }
+func TestE12Infiniband(t *testing.T)     { expectOK(t, "E12", 0) }
+
+func TestE1NaiveScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	expectOK(t, "E1", 6)
+}
+
+func TestE2NTPReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	expectOK(t, "E2", 3)
+}
+
+func TestE4CheckpointOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E4", 0)
+}
+
+func TestE6Watchdog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E6", 0)
+}
+
+func TestE7VirtOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E7", 0)
+}
+
+func TestE8FaultThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven sweep")
+	}
+	expectOK(t, "E8", 0)
+}
+
+func TestE9MultiCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven sweep")
+	}
+	expectOK(t, "E9", 0)
+}
+
+func TestE10HealthCheckScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	expectOK(t, "E10", 4)
+}
+
+func TestE11Migration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E11", 0)
+}
+
+func TestE13LiveMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E13", 0)
+}
+
+func TestE14IncrementalCheckpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-running workloads")
+	}
+	expectOK(t, "E14", 0)
+}
+
+func TestE15HeterogeneousStacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trace-driven sweep")
+	}
+	expectOK(t, "E15", 0)
+}
+
+func TestA1RetryBudgetAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	expectOK(t, "A1", 4)
+}
+
+func TestA2ClockQualityAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical sweep")
+	}
+	expectOK(t, "A2", 4)
+}
+
+func expectOK(t *testing.T, id string, trials int) {
+	t.Helper()
+	res, err := Run(id, Options{Seed: 1, Trials: trials})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.FailedChecks() {
+		t.Errorf("%s check %q failed: %s", id, c.Name, c.Detail)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() string {
+		var buf bytes.Buffer
+		if _, err := Run("E3", Options{Seed: 42, Out: &buf}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different output")
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"dvc/internal/clock"
+	"dvc/internal/core"
+	"dvc/internal/guest"
+	"dvc/internal/hpcc"
+	"dvc/internal/mpi"
+	"dvc/internal/netsim"
+	"dvc/internal/phys"
+	"dvc/internal/sim"
+	"dvc/internal/storage"
+	"dvc/internal/tcp"
+	"dvc/internal/vm"
+)
+
+// Experiment-wide hardware constants (documented in EXPERIMENTS.md).
+const (
+	vmRAM      = 256 << 20 // 2007-era HPC guest size
+	guestFlops = 10.0      // GFlops per node
+)
+
+// bed is the common experiment test environment: one or more Ethernet
+// clusters, NTP-disciplined clocks, DVC with an LSC coordinator.
+type bed struct {
+	k     *sim.Kernel
+	site  *phys.Site
+	store *storage.Store
+	mgr   *core.Manager
+	co    *core.Coordinator
+}
+
+// bedOptions customises makeBed beyond the common defaults.
+type bedOptions struct {
+	clusters map[string]int
+	lsc      core.LSCConfig
+	ntp      bool                // start the NTP daemon
+	ntpCfg   *clock.NTPConfig    // nil = LAN defaults
+	tcpCfg   *tcp.Config         // nil = default transport
+	profile  *netsim.LinkProfile // nil = gigabit Ethernet
+}
+
+// makeBed builds the environment. Clusters are created in a fixed name
+// order for determinism.
+func makeBed(seed int64, o bedOptions) *bed {
+	k := sim.NewKernel(seed)
+	ntpCfg := clock.DefaultNTPConfig()
+	if o.ntpCfg != nil {
+		ntpCfg = *o.ntpCfg
+	}
+	site := phys.NewSite(k, clock.DefaultConfig(), ntpCfg)
+	profile := netsim.EthernetGigE()
+	if o.profile != nil {
+		profile = *o.profile
+	}
+	for _, name := range []string{"alpha", "beta", "gamma", "delta"} {
+		if n, ok := o.clusters[name]; ok {
+			site.AddCluster(name, n, phys.DefaultSpec(), profile)
+		}
+	}
+	if o.ntp {
+		site.NTP.Start()
+	}
+	store := storage.New(k, storage.DefaultConfig())
+	mgr := core.NewManager(k, site, store, vm.DefaultXenConfig())
+	if o.tcpCfg != nil {
+		mgr.SetTCPConfig(*o.tcpCfg)
+	}
+	return &bed{k: k, site: site, store: store, mgr: mgr, co: core.NewCoordinator(mgr, o.lsc)}
+}
+
+// newBed builds the common environment: named Ethernet clusters, default
+// transport, LAN NTP.
+func newBed(seed int64, clusters map[string]int, lsc core.LSCConfig, ntp bool) *bed {
+	return makeBed(seed, bedOptions{clusters: clusters, lsc: lsc, ntp: ntp})
+}
+
+// coreNTP is shorthand for the default NTP coordinator configuration.
+func coreNTP() core.LSCConfig { return core.DefaultNTPLSC() }
+
+// netsimEth is shorthand for the standard cluster fabric profile.
+func netsimEth() netsim.LinkProfile { return netsim.EthernetGigE() }
+
+// newBedProfile builds a single-cluster bed with a custom link profile.
+func newBedProfile(seed int64, nodes int, lsc core.LSCConfig, profile netsim.LinkProfile) *bed {
+	k := sim.NewKernel(seed)
+	site := phys.DefaultSite(k)
+	site.AddCluster("alpha", nodes, phys.DefaultSpec(), profile)
+	site.NTP.Start()
+	store := storage.New(k, storage.DefaultConfig())
+	mgr := core.NewManager(k, site, store, vm.DefaultXenConfig())
+	return &bed{k: k, site: site, store: store, mgr: mgr, co: core.NewCoordinator(mgr, lsc)}
+}
+
+// allocate boots a VC and waits for it.
+func (b *bed) allocate(name string, nodes int, wd guest.WatchdogConfig) *core.VirtualCluster {
+	vc, err := b.mgr.Allocate(core.VCSpec{Name: name, Nodes: nodes, VMRAM: vmRAM, Watchdog: wd}, nil)
+	if err != nil {
+		panic(err)
+	}
+	b.k.RunFor(vm.DefaultXenConfig().BootTime + sim.Second)
+	if vc.State() != core.VCReady {
+		panic("VC did not become ready")
+	}
+	return vc
+}
+
+// runJob drives until the VC's job is done (or limit).
+func (b *bed) runJob(vc *core.VirtualCluster, limit sim.Time) core.JobStatus {
+	deadline := b.k.Now() + limit
+	for b.k.Now() < deadline {
+		js := vc.JobStatus()
+		if js.Done() && vc.State() == core.VCReady {
+			return js
+		}
+		b.k.RunFor(sim.Second)
+	}
+	return vc.JobStatus()
+}
+
+// checkpointOnce issues one checkpoint and runs until it reports.
+func (b *bed) checkpointOnce(vc *core.VirtualCluster, limit sim.Time) *core.CheckpointResult {
+	var res *core.CheckpointResult
+	if err := b.co.Checkpoint(vc, func(r *core.CheckpointResult) { res = r }); err != nil {
+		panic(err)
+	}
+	deadline := b.k.Now() + limit
+	for res == nil && b.k.Now() < deadline {
+		b.k.RunFor(sim.Second)
+	}
+	return res
+}
+
+// lscTrial runs one full LSC trial: boot n VMs, run a halo workload,
+// checkpoint ~2s in, then run the job to completion. It reports whether
+// save AND restore were transparent (checkpoint OK, images consistent,
+// job finished successfully) along with the measured skew.
+type lscTrialResult struct {
+	ok       bool
+	reason   string
+	skew     sim.Time
+	downtime sim.Time
+	attempts int
+}
+
+func lscTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool) lscTrialResult {
+	b := newBed(seed, map[string]int{"alpha": nodes}, lsc, ntp)
+	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
+	// Enough halo rounds to keep traffic flowing through the longest
+	// plausible save window (~30 s of 20 ms rounds).
+	vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(1500, 20*sim.Millisecond, 4096) })
+	b.k.RunFor(2 * sim.Second)
+	res := b.checkpointOnce(vc, 10*sim.Minute)
+	out := lscTrialResult{}
+	if res == nil {
+		out.reason = "checkpoint never completed"
+		return out
+	}
+	out.skew = res.SaveSkew
+	out.downtime = res.Downtime
+	out.attempts = res.Attempts
+	if !res.OK {
+		out.reason = res.Reason
+		return out
+	}
+	if err := core.InspectImages(res.Images); err != nil {
+		out.reason = err.Error()
+		return out
+	}
+	js := b.runJob(vc, 2*sim.Hour)
+	if !js.AllOK() {
+		out.reason = "job failed after restore"
+		return out
+	}
+	for _, app := range vc.RankApps() {
+		h, ok := app.(*hpcc.Halo)
+		if !ok || !h.Finished {
+			out.reason = "rank did not finish"
+			return out
+		}
+	}
+	out.ok = true
+	return out
+}
+
+// pct returns 100*a/b guarded against b==0.
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

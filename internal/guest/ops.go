@@ -1,0 +1,199 @@
+package guest
+
+import (
+	"encoding/gob"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+)
+
+// Op is a blocking guest operation. Concrete op types are pure data and
+// gob-registered: an in-progress operation is part of the VM image.
+type Op interface {
+	// start arms the operation (timers, writes, connection setup).
+	start(o *OS, p *Process)
+	// poll checks for completion and produces the result.
+	poll(o *OS, p *Process) (Result, bool)
+}
+
+func init() {
+	gob.Register(&ComputeOp{})
+	gob.Register(&SleepOp{})
+	gob.Register(&SendOp{})
+	gob.Register(&RecvOp{})
+	gob.Register(&ConnectOp{})
+	gob.Register(&AcceptOp{})
+}
+
+// ComputeOp burns CPU for the given nominal duration. The actual duration
+// is scaled by the VM's CPU overhead factor, so the same program runs
+// slightly slower inside a para-virtualised guest — experiment E7.
+type ComputeOp struct {
+	Duration sim.Time
+	Started  bool
+}
+
+// Compute returns an op that computes for d.
+func Compute(d sim.Time) *ComputeOp { return &ComputeOp{Duration: d} }
+
+func (op *ComputeOp) start(o *OS, p *Process) {
+	if !op.Started {
+		op.Started = true
+		p.armTimer(o, sim.Time(float64(op.Duration)*o.cpuFactor))
+	}
+}
+
+func (op *ComputeOp) poll(o *OS, p *Process) (Result, bool) {
+	return Result{}, p.timerFired
+}
+
+// SleepOp suspends the process for a guest-time duration (no CPU scaling).
+type SleepOp struct {
+	Duration sim.Time
+	Started  bool
+}
+
+// Sleep returns an op that sleeps for d of guest time.
+func Sleep(d sim.Time) *SleepOp { return &SleepOp{Duration: d} }
+
+func (op *SleepOp) start(o *OS, p *Process) {
+	if !op.Started {
+		op.Started = true
+		p.armTimer(o, op.Duration)
+	}
+}
+
+func (op *SleepOp) poll(o *OS, p *Process) (Result, bool) {
+	return Result{}, p.timerFired
+}
+
+// SendOp writes data to a socket. It completes when the transport has
+// acknowledged enough that the send backlog fits inside the send window —
+// i.e. the sender is paced by the wire, like a blocking write on a
+// bounded socket buffer.
+type SendOp struct {
+	FD      int
+	Data    []byte
+	Len     int
+	Written bool
+}
+
+// Send returns an op that writes data to fd.
+func Send(fd int, data []byte) *SendOp { return &SendOp{FD: fd, Data: data, Len: len(data)} }
+
+func (op *SendOp) start(o *OS, p *Process) {}
+
+func (op *SendOp) poll(o *OS, p *Process) (Result, bool) {
+	c, ok := o.conn(op.FD)
+	if !ok {
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	if !op.Written {
+		if err := c.Write(op.Data); err != nil {
+			return Result{Err: err}, true
+		}
+		op.Written = true
+		op.Data = nil // handed to the transport; don't checkpoint twice
+	}
+	switch c.State() {
+	case tcp.StateReset:
+		return Result{Err: tcp.ErrReset}, true
+	case tcp.StateClosed:
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	if c.SendBacklog() <= o.stack.Config().SendWindow {
+		return Result{N: op.Len}, true
+	}
+	return Result{}, false
+}
+
+// RecvOp reads exactly N bytes from a socket (or reports EOF/error).
+type RecvOp struct {
+	FD int
+	N  int
+}
+
+// Recv returns an op that reads exactly n bytes from fd.
+func Recv(fd, n int) *RecvOp { return &RecvOp{FD: fd, N: n} }
+
+func (op *RecvOp) start(o *OS, p *Process) {}
+
+func (op *RecvOp) poll(o *OS, p *Process) (Result, bool) {
+	c, ok := o.conn(op.FD)
+	if !ok {
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	if c.Readable() >= op.N {
+		return Result{Data: c.Read(op.N), N: op.N}, true
+	}
+	if c.EOF() {
+		return Result{EOF: true}, true
+	}
+	switch c.State() {
+	case tcp.StateReset:
+		return Result{Err: tcp.ErrReset}, true
+	case tcp.StateClosed:
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	return Result{}, false
+}
+
+// ConnectOp opens a connection to a remote guest.
+type ConnectOp struct {
+	Addr    netsim.Addr
+	Port    uint16
+	Started bool
+	Key     tcp.ConnKey
+}
+
+// Connect returns an op that dials addr:port.
+func Connect(addr netsim.Addr, port uint16) *ConnectOp {
+	return &ConnectOp{Addr: addr, Port: port}
+}
+
+func (op *ConnectOp) start(o *OS, p *Process) {
+	if !op.Started {
+		op.Started = true
+		c := o.stack.Connect(op.Addr, op.Port)
+		op.Key = c.Key()
+		o.wireConn(c)
+	}
+}
+
+func (op *ConnectOp) poll(o *OS, p *Process) (Result, bool) {
+	c, ok := o.stack.Lookup(op.Key)
+	if !ok {
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	switch c.State() {
+	case tcp.StateEstablished, tcp.StateClosing:
+		return Result{FD: o.newFD(op.Key)}, true
+	case tcp.StateReset:
+		return Result{Err: tcp.ErrReset}, true
+	case tcp.StateClosed:
+		return Result{Err: tcp.ErrClosed}, true
+	}
+	return Result{}, false
+}
+
+// AcceptOp takes the next queued inbound connection on a listening port.
+type AcceptOp struct {
+	Port uint16
+}
+
+// Accept returns an op that accepts one connection on port (which must
+// have been opened with OS.Listen).
+func Accept(port uint16) *AcceptOp { return &AcceptOp{Port: port} }
+
+func (op *AcceptOp) start(o *OS, p *Process) {}
+
+func (op *AcceptOp) poll(o *OS, p *Process) (Result, bool) {
+	q := o.accepts[op.Port]
+	if len(q) == 0 {
+		return Result{}, false
+	}
+	key := q[0]
+	o.accepts[op.Port] = q[1:]
+	return Result{FD: o.newFD(key)}, true
+}

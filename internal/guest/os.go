@@ -1,0 +1,432 @@
+// Package guest models the operating system inside a virtual machine (or
+// on a bare physical node): processes, sockets, timers, a kernel log and a
+// software watchdog.
+//
+// Because Go cannot serialise goroutine stacks, guest processes are
+// written as explicit resumable state machines (Program): each step
+// returns the next blocking operation (compute, send, recv, ...). All
+// process state lives in serialisable fields, which is what makes a
+// whole-VM checkpoint possible — precisely the property the paper gets
+// from Xen's save/restore.
+//
+// Two clocks are visible to programs, and the difference between them is
+// one of the paper's findings (§3.2):
+//
+//   - WallClock: the host's wall clock. Xen does NOT virtualise it away
+//     across save/restore, so it jumps over the suspended interval. HPL
+//     measures with it and therefore "reported a greatly increased
+//     execution time".
+//   - Jiffies: guest-monotonic time, frozen while the VM is suspended.
+package guest
+
+import (
+	"fmt"
+	"sort"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+)
+
+// PID identifies a guest process.
+type PID int
+
+// Result carries the outcome of a completed operation into the program's
+// next step.
+type Result struct {
+	Data []byte // Recv payload
+	FD   int    // Connect/Accept file descriptor
+	N    int    // generic count
+	EOF  bool   // peer closed
+	Err  error  // operation failed (e.g. connection reset)
+}
+
+// Program is a guest application written as a resumable state machine.
+// Next is called with the previous operation's result and returns the
+// next operation, or nil when the program is done (exit status via
+// API.Exit or implicit success).
+//
+// Implementations must be pure data (gob-encodable): every field is part
+// of the VM image.
+type Program interface {
+	Next(api *API, res Result) Op
+}
+
+// API is the syscall surface available to a program while it decides its
+// next operation. It is only valid during the Next call.
+type API struct {
+	os   *OS
+	proc *Process
+}
+
+// WallClock returns the host wall-clock reading (jumps across
+// save/restore).
+func (a *API) WallClock() sim.Time { return a.os.wallClock() }
+
+// Jiffies returns guest-monotonic time (frozen while suspended).
+func (a *API) Jiffies() sim.Time { return a.os.Jiffies() }
+
+// Log appends a message to the guest kernel log.
+func (a *API) Log(format string, args ...any) {
+	a.os.Logf(format, args...)
+}
+
+// Exit records the process exit status; return nil from Next afterwards.
+func (a *API) Exit(code int) { a.proc.exitCode = code }
+
+// Hostname returns the guest's network address (its stable identity).
+func (a *API) Hostname() string { return string(a.os.stack.Addr()) }
+
+// Listen opens a listening port (idempotent for the same port).
+func (a *API) Listen(port uint16) {
+	for _, p := range a.os.listens {
+		if p == port {
+			return
+		}
+	}
+	a.os.Listen(port)
+}
+
+// Process is one guest process.
+type Process struct {
+	pid      PID
+	prog     Program
+	cur      Op
+	last     Result
+	exited   bool
+	exitCode int
+
+	// Timer support for Compute/Sleep ops; frozen with the VM.
+	timer      sim.Handle
+	timerFired bool
+	timerLeft  sim.Time // valid while frozen; -1 = none
+}
+
+// PID returns the process id.
+func (p *Process) PID() PID { return p.pid }
+
+// Exited reports whether the process has finished.
+func (p *Process) Exited() bool { return p.exited }
+
+// ExitCode returns the exit status (valid after Exited).
+func (p *Process) ExitCode() int { return p.exitCode }
+
+// Program returns the process's program (for result inspection after exit).
+func (p *Process) Program() Program { return p.prog }
+
+// LogEntry is one guest kernel log line.
+type LogEntry struct {
+	Wall    sim.Time
+	Jiffies sim.Time
+	Msg     string
+}
+
+// WatchdogConfig tunes the guest software watchdog daemon.
+type WatchdogConfig struct {
+	// Interval between watchdog checks. Zero disables the watchdog.
+	Interval sim.Time
+	// Tolerance over the interval before a stall is reported.
+	Tolerance sim.Time
+}
+
+// DefaultWatchdog matches the paper's setup: a software watchdog that
+// fires a report after every VM save/restore because wall time jumped.
+func DefaultWatchdog() WatchdogConfig {
+	return WatchdogConfig{Interval: 10 * sim.Second, Tolerance: 5 * sim.Second}
+}
+
+// OS is a guest operating system instance.
+type OS struct {
+	kernel    *sim.Kernel
+	stack     *tcp.Stack
+	wallClock func() sim.Time
+	cpuFactor float64 // >1 = slower than native (para-virt overhead)
+
+	procs   map[PID]*Process
+	nextPID PID
+	fds     map[int]tcp.ConnKey
+	nextFD  int
+	accepts map[uint16][]tcp.ConnKey // accepted, not yet Accept()ed
+	listens []uint16
+
+	log []LogEntry
+
+	frozen       bool
+	jiffiesAccum sim.Time
+	runningSince sim.Time
+
+	wd         WatchdogConfig
+	wdLastWall sim.Time
+	wdTimer    sim.Handle
+	wdLeft     sim.Time
+	wdTimeouts int
+
+	pumpScheduled bool
+}
+
+// New creates a running guest OS on top of a TCP stack. wallClock supplies
+// host wall-clock readings (the node's clock.Clock.Read); cpuFactor scales
+// compute durations (1.0 = native speed).
+func New(k *sim.Kernel, stack *tcp.Stack, wallClock func() sim.Time, cpuFactor float64, wd WatchdogConfig) *OS {
+	if cpuFactor <= 0 {
+		cpuFactor = 1
+	}
+	o := &OS{
+		kernel:       k,
+		stack:        stack,
+		wallClock:    wallClock,
+		cpuFactor:    cpuFactor,
+		procs:        make(map[PID]*Process),
+		nextPID:      1,
+		fds:          make(map[int]tcp.ConnKey),
+		nextFD:       3,
+		accepts:      make(map[uint16][]tcp.ConnKey),
+		runningSince: k.Now(),
+		wd:           wd,
+		wdLeft:       -1,
+	}
+	if wd.Interval > 0 {
+		o.wdLastWall = wallClock()
+		o.wdTimer = k.After(wd.Interval, o.watchdogTick)
+	}
+	return o
+}
+
+// Stack returns the guest's TCP stack.
+func (o *OS) Stack() *tcp.Stack { return o.stack }
+
+// Addr returns the guest's network address.
+func (o *OS) Addr() netsim.Addr { return o.stack.Addr() }
+
+// Frozen reports whether the OS is suspended.
+func (o *OS) Frozen() bool { return o.frozen }
+
+// Jiffies returns guest-monotonic time: it does not advance while frozen.
+func (o *OS) Jiffies() sim.Time {
+	if o.frozen {
+		return o.jiffiesAccum
+	}
+	return o.jiffiesAccum + (o.kernel.Now() - o.runningSince)
+}
+
+// Logf appends to the kernel log.
+func (o *OS) Logf(format string, args ...any) {
+	o.log = append(o.log, LogEntry{
+		Wall:    o.wallClock(),
+		Jiffies: o.Jiffies(),
+		Msg:     fmt.Sprintf(format, args...),
+	})
+}
+
+// KernelLog returns the guest kernel log.
+func (o *OS) KernelLog() []LogEntry { return o.log }
+
+// WatchdogTimeouts reports how many watchdog stall reports have been
+// logged (one per save/restore cycle, per the paper).
+func (o *OS) WatchdogTimeouts() int { return o.wdTimeouts }
+
+// Spawn starts a program as a new process and returns its PID.
+func (o *OS) Spawn(prog Program) PID {
+	pid := o.nextPID
+	o.nextPID++
+	p := &Process{pid: pid, prog: prog, timerLeft: -1}
+	o.procs[pid] = p
+	o.schedulePump()
+	return pid
+}
+
+// Proc returns the process with the given PID.
+func (o *OS) Proc(pid PID) (*Process, bool) {
+	p, ok := o.procs[pid]
+	return p, ok
+}
+
+// Procs returns all processes in PID order.
+func (o *OS) Procs() []*Process {
+	pids := make([]PID, 0, len(o.procs))
+	for pid := range o.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	out := make([]*Process, len(pids))
+	for i, pid := range pids {
+		out[i] = o.procs[pid]
+	}
+	return out
+}
+
+// AllExited reports whether every process has finished.
+func (o *OS) AllExited() bool {
+	for _, p := range o.procs {
+		if !p.exited {
+			return false
+		}
+	}
+	return true
+}
+
+// Listen opens a listening port; incoming connections queue for AcceptOp.
+func (o *OS) Listen(port uint16) {
+	o.listens = append(o.listens, port)
+	o.stack.Listen(port, func(c *tcp.Conn) {
+		o.accepts[port] = append(o.accepts[port], c.Key())
+		o.wireConn(c)
+		o.schedulePump()
+	})
+}
+
+// wireConn hooks a connection's callbacks to the scheduler.
+func (o *OS) wireConn(c *tcp.Conn) {
+	c.OnReadable = func() { o.schedulePump() }
+	c.OnEstablished = func() { o.schedulePump() }
+	c.OnError = func(error) { o.schedulePump() }
+	c.OnAck = func() { o.schedulePump() }
+}
+
+// conn resolves an fd to its connection.
+func (o *OS) conn(fd int) (*tcp.Conn, bool) {
+	key, ok := o.fds[fd]
+	if !ok {
+		return nil, false
+	}
+	return o.stack.Lookup(key)
+}
+
+// newFD binds a connection to a fresh descriptor.
+func (o *OS) newFD(key tcp.ConnKey) int {
+	fd := o.nextFD
+	o.nextFD++
+	o.fds[fd] = key
+	return fd
+}
+
+// schedulePump queues a scheduler pass. Pumping from a fresh event (rather
+// than recursively) keeps process stepping non-reentrant.
+func (o *OS) schedulePump() {
+	if o.pumpScheduled || o.frozen {
+		return
+	}
+	o.pumpScheduled = true
+	o.kernel.After(0, o.pump)
+}
+
+// pump drives every process until no more progress is possible.
+func (o *OS) pump() {
+	o.pumpScheduled = false
+	if o.frozen {
+		return
+	}
+	for {
+		progress := false
+		for _, p := range o.Procs() {
+			if o.drive(p) {
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// drive advances one process as far as it can go; reports whether any
+// step completed.
+func (o *OS) drive(p *Process) bool {
+	if p.exited || o.frozen {
+		return false
+	}
+	advanced := false
+	for {
+		if p.cur != nil {
+			res, done := p.cur.poll(o, p)
+			if !done {
+				return advanced
+			}
+			p.cur = nil
+			p.last = res
+			p.timerFired = false
+			advanced = true
+		}
+		op := p.prog.Next(&API{os: o, proc: p}, p.last)
+		p.last = Result{}
+		if op == nil {
+			p.exited = true
+			return true
+		}
+		p.cur = op
+		op.start(o, p)
+	}
+}
+
+// armTimer sets the process's freezable timer.
+func (p *Process) armTimer(o *OS, d sim.Time) {
+	p.timer.Cancel()
+	p.timerFired = false
+	p.timer = o.kernel.After(d, func() {
+		p.timerFired = true
+		o.schedulePump()
+	})
+}
+
+// Freeze suspends the OS: process timers and the watchdog stop (recording
+// remainders), jiffies stop advancing, and the TCP stack freezes.
+func (o *OS) Freeze() {
+	if o.frozen {
+		return
+	}
+	o.jiffiesAccum += o.kernel.Now() - o.runningSince
+	o.frozen = true
+	for _, p := range o.procs {
+		if p.timer.Pending() {
+			p.timerLeft = p.timer.When() - o.kernel.Now()
+			p.timer.Cancel()
+		} else {
+			p.timerLeft = -1
+		}
+	}
+	if o.wdTimer.Pending() {
+		o.wdLeft = o.wdTimer.When() - o.kernel.Now()
+		o.wdTimer.Cancel()
+	} else {
+		o.wdLeft = -1
+	}
+	o.stack.Freeze()
+}
+
+// Thaw resumes a frozen OS, re-arming timers from remainders.
+func (o *OS) Thaw() {
+	if !o.frozen {
+		return
+	}
+	o.frozen = false
+	o.runningSince = o.kernel.Now()
+	for _, p := range o.procs {
+		if p.timerLeft >= 0 {
+			left := p.timerLeft
+			p.timerLeft = -1
+			p.armTimer(o, left)
+		}
+	}
+	if o.wdLeft >= 0 {
+		o.wdTimer = o.kernel.After(o.wdLeft, o.watchdogTick)
+		o.wdLeft = -1
+	}
+	o.stack.Thaw()
+	o.schedulePump()
+}
+
+// watchdogTick is the guest software watchdog: if wall time has jumped
+// past the check interval plus tolerance — which is exactly what a VM
+// save/restore does — it logs a stall report. The report is harmless
+// (the paper: "Although this did not affect the execution of the
+// environment, it did cause a large number of kernel messages to
+// accumulate").
+func (o *OS) watchdogTick() {
+	wall := o.wallClock()
+	if gap := wall - o.wdLastWall; gap > o.wd.Interval+o.wd.Tolerance {
+		o.wdTimeouts++
+		o.Logf("watchdog: BUG: soft lockup detected, wall clock jumped %v", gap-o.wd.Interval)
+	}
+	o.wdLastWall = wall
+	o.wdTimer = o.kernel.After(o.wd.Interval, o.watchdogTick)
+}

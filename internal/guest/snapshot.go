@@ -1,0 +1,176 @@
+package guest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+)
+
+// ProcSnapshot is the pure-data image of one process.
+type ProcSnapshot struct {
+	PID       PID
+	Prog      Program // gob interface: concrete programs must be registered
+	Cur       Op      // in-flight operation, if any
+	Last      Result
+	Exited    bool
+	ExitCode  int
+	TimerLeft sim.Time // remaining Compute/Sleep time; -1 = none
+}
+
+// Snapshot is the pure-data image of a whole guest OS: the payload of a
+// whole-VM checkpoint. Everything in it round-trips through encoding/gob.
+type Snapshot struct {
+	Procs     []ProcSnapshot
+	NextPID   PID
+	FDs       map[int]tcp.ConnKey
+	NextFD    int
+	Accepts   map[uint16][]tcp.ConnKey
+	Listens   []uint16
+	Log       []LogEntry
+	Jiffies   sim.Time
+	WD        WatchdogConfig
+	WDLeft    sim.Time
+	WDTimeout int
+	CPUFactor float64
+	Stack     *tcp.StackSnapshot
+}
+
+// Snapshot captures the OS. The OS must be frozen first; capturing a
+// running OS panics.
+func (o *OS) Snapshot() *Snapshot {
+	if !o.frozen {
+		panic("guest: Snapshot of an OS that is not frozen")
+	}
+	s := &Snapshot{
+		NextPID:   o.nextPID,
+		FDs:       make(map[int]tcp.ConnKey, len(o.fds)),
+		NextFD:    o.nextFD,
+		Accepts:   make(map[uint16][]tcp.ConnKey, len(o.accepts)),
+		Listens:   append([]uint16(nil), o.listens...),
+		Log:       append([]LogEntry(nil), o.log...),
+		Jiffies:   o.jiffiesAccum,
+		WD:        o.wd,
+		WDLeft:    o.wdLeft,
+		WDTimeout: o.wdTimeouts,
+		CPUFactor: o.cpuFactor,
+		Stack:     o.stack.Snapshot(),
+	}
+	for fd, key := range o.fds {
+		s.FDs[fd] = key
+	}
+	for port, q := range o.accepts {
+		s.Accepts[port] = append([]tcp.ConnKey(nil), q...)
+	}
+	for _, p := range o.Procs() {
+		s.Procs = append(s.Procs, ProcSnapshot{
+			PID:       p.pid,
+			Prog:      p.prog,
+			Cur:       p.cur,
+			Last:      p.last,
+			Exited:    p.exited,
+			ExitCode:  p.exitCode,
+			TimerLeft: p.timerLeft,
+		})
+	}
+	return s
+}
+
+// Restore rebuilds a frozen OS from a snapshot on the given fabric. The
+// caller injects the (new) node's wall clock and CPU factor — those are
+// host properties, not guest state — then calls Thaw to resume.
+func Restore(k *sim.Kernel, fabric *netsim.Fabric, snap *Snapshot, wallClock func() sim.Time, cpuFactor float64) *OS {
+	if cpuFactor <= 0 {
+		cpuFactor = snap.CPUFactor
+	}
+	o := &OS{
+		kernel:       k,
+		stack:        tcp.RestoreStack(k, fabric, snap.Stack),
+		wallClock:    wallClock,
+		cpuFactor:    cpuFactor,
+		procs:        make(map[PID]*Process, len(snap.Procs)),
+		nextPID:      snap.NextPID,
+		fds:          make(map[int]tcp.ConnKey, len(snap.FDs)),
+		nextFD:       snap.NextFD,
+		accepts:      make(map[uint16][]tcp.ConnKey, len(snap.Accepts)),
+		listens:      append([]uint16(nil), snap.Listens...),
+		log:          append([]LogEntry(nil), snap.Log...),
+		frozen:       true,
+		jiffiesAccum: snap.Jiffies,
+		wd:           snap.WD,
+		wdLeft:       snap.WDLeft,
+		wdTimeouts:   snap.WDTimeout,
+	}
+	// The watchdog's last wall reference predates the save, so the first
+	// post-restore tick always sees a jump — one stall report per
+	// save/restore cycle, as the paper observed. Using zero (boot time)
+	// is a conservative stand-in for the pre-save reading, which is a
+	// host-relative quantity the image cannot meaningfully carry across
+	// hosts.
+	o.wdLastWall = 0
+	for fd, key := range snap.FDs {
+		o.fds[fd] = key
+	}
+	for port, q := range snap.Accepts {
+		o.accepts[port] = append([]tcp.ConnKey(nil), q...)
+	}
+	for _, ps := range snap.Procs {
+		o.procs[ps.PID] = &Process{
+			pid:       ps.PID,
+			prog:      ps.Prog,
+			cur:       ps.Cur,
+			last:      ps.Last,
+			exited:    ps.Exited,
+			exitCode:  ps.ExitCode,
+			timerLeft: ps.TimerLeft,
+		}
+	}
+	// Re-register listener accept callbacks and connection callbacks.
+	for _, port := range o.listens {
+		port := port
+		o.stack.SetListenerAccept(port, func(c *tcp.Conn) {
+			o.accepts[port] = append(o.accepts[port], c.Key())
+			o.wireConn(c)
+			o.schedulePump()
+		})
+	}
+	for _, c := range o.stack.Conns() {
+		o.wireConn(c)
+	}
+	return o
+}
+
+// EncodeImage serialises a snapshot into the byte image that would be
+// written to checkpoint storage. It is the functional payload of a
+// checkpoint file; the *modelled* image size (all guest RAM) is larger
+// and accounted separately by the vm package.
+func EncodeImage(snap *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("guest: encoding image: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeImage reverses EncodeImage.
+func DecodeImage(img []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(img)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("guest: decoding image: %w", err)
+	}
+	return &snap, nil
+}
+
+// SortedPIDs is a helper for deterministic iteration in tests.
+func (s *Snapshot) SortedPIDs() []PID {
+	pids := make([]PID, len(s.Procs))
+	for i, p := range s.Procs {
+		pids[i] = p.PID
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	return pids
+}

@@ -1,0 +1,82 @@
+package hpcc
+
+import (
+	"encoding/gob"
+
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+)
+
+func init() {
+	gob.Register(&Halo{})
+}
+
+// Halo is a ring halo-exchange kernel: every Period, each rank computes
+// and then exchanges MsgBytes with both ring neighbours. It produces the
+// continuous all-node communication LSC is sensitive to, at a small
+// fraction of PTRANS's event cost — the experiment harness uses it for
+// the large sweeps.
+type Halo struct {
+	Rounds   int
+	Period   sim.Time
+	MsgBytes int
+
+	PC       int
+	I        int
+	Finished bool
+
+	StartWall, EndWall sim.Time
+	StartJiff, EndJiff sim.Time
+}
+
+// NewHalo constructs the kernel.
+func NewHalo(rounds int, period sim.Time, msgBytes int) *Halo {
+	return &Halo{Rounds: rounds, Period: period, MsgBytes: msgBytes}
+}
+
+// Step implements mpi.App.
+func (h *Halo) Step(c *mpi.Ctx, prev mpi.Op) mpi.Op {
+	rt := c.RT
+	if rt.Size < 2 {
+		h.Finished = true
+		return nil
+	}
+	right := (rt.Me + 1) % rt.Size
+	left := (rt.Me - 1 + rt.Size) % rt.Size
+	for {
+		switch h.PC {
+		case 0:
+			h.StartWall, h.StartJiff = c.WallClock(), c.Jiffies()
+			h.PC = 1
+		case 1:
+			if h.I >= h.Rounds {
+				h.EndWall, h.EndJiff = c.WallClock(), c.Jiffies()
+				h.Finished = true
+				return nil
+			}
+			h.PC = 2
+			return mpi.Compute(h.Period)
+		case 2:
+			h.PC = 3
+			return mpi.Send(right, 5, make([]byte, h.MsgBytes))
+		case 3:
+			h.PC = 4
+			return mpi.Send(left, 6, make([]byte, h.MsgBytes))
+		case 4:
+			h.PC = 5
+			return mpi.Recv(left, 5)
+		case 5:
+			h.PC = 6
+			return mpi.Recv(right, 6)
+		case 6:
+			h.I++
+			h.PC = 1
+		}
+	}
+}
+
+// WallTime returns the reported wall duration.
+func (h *Halo) WallTime() sim.Time { return h.EndWall - h.StartWall }
+
+// CPUTime returns the guest-monotonic duration.
+func (h *Halo) CPUTime() sim.Time { return h.EndJiff - h.StartJiff }

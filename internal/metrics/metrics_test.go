@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dvc/internal/sim"
+)
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty sample should be all zeros")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Std()-2.138) > 0.01 {
+		t.Fatalf("Std = %v", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if p := s.Percentile(50); p != 50 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := s.Percentile(99); p != 99 {
+		t.Fatalf("P99 = %v", p)
+	}
+	if p := s.Percentile(100); p != 100 {
+		t.Fatalf("P100 = %v", p)
+	}
+	if p := s.Percentile(0); p != 1 {
+		t.Fatalf("P0 = %v", p)
+	}
+}
+
+func TestAddTime(t *testing.T) {
+	var s Sample
+	s.AddTime(1500 * sim.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("AddTime mean = %v", s.Mean())
+	}
+}
+
+func TestPropertyMinLEMeanLEMax(t *testing.T) {
+	f := func(vals []int32) bool {
+		var s Sample
+		ok := true
+		for _, v := range vals {
+			s.Add(float64(v))
+			ok = ok && !math.IsNaN(s.Mean())
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return ok && s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "nodes", "fail%", "time")
+	tb.Row(8, 0.0, 3150*sim.Millisecond)
+	tb.Row(10, 50.0, 4*sim.Second)
+	out := tb.String()
+	if !strings.Contains(out, "== Results ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "fail%") {
+		t.Fatal("missing headers")
+	}
+	if !strings.Contains(out, "3.15s") || !strings.Contains(out, "50") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.Row(3.14159)
+	tb.Row(12345678.0)
+	tb.Row(42.0)
+	out := tb.String()
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float not rounded: %s", out)
+	}
+	if !strings.Contains(out, "42") {
+		t.Fatalf("integer-valued float mangled: %s", out)
+	}
+}
+
+func TestTableJSONAndAccessors(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.Row(1, "x")
+	if h := tb.Headers(); len(h) != 2 || h[0] != "a" {
+		t.Fatalf("Headers %v", h)
+	}
+	rows := tb.Rows()
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "x" {
+		t.Fatalf("Rows %v", rows)
+	}
+	// Mutating the copies must not affect the table.
+	rows[0][0] = "mutated"
+	if tb.Rows()[0][0] != "1" {
+		t.Fatal("Rows returned aliased storage")
+	}
+	b, err := tb.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"title":"T"`) || !strings.Contains(string(b), `"rows":[["1","x"]]`) {
+		t.Fatalf("JSON %s", b)
+	}
+}

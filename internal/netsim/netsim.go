@@ -1,0 +1,308 @@
+// Package netsim models the cluster interconnect: addressed ports attached
+// to clusters, link profiles (latency, bandwidth, loss), and packet
+// delivery as discrete events.
+//
+// The model is deliberately coarse — per-packet one-way latency plus
+// serialisation delay, no queueing theory — because what the DVC
+// experiments depend on is (a) realistic message timing for MPI overhead
+// shapes and (b) the ability to lose packets on the wire, which is the
+// whole premise of the paper's consistent-cut argument (Figure 2).
+package netsim
+
+import (
+	"fmt"
+
+	"dvc/internal/sim"
+)
+
+// Addr identifies a network endpoint (a physical node's or a virtual
+// machine's interface). Addresses are stable across migration: moving a
+// port to another cluster keeps its address, exactly as DVC keeps a
+// virtual node's identity when it is restarted elsewhere.
+type Addr string
+
+// Packet is one datagram on the fabric. Payload is opaque to the fabric
+// (the TCP layer puts segments in it); Size in bytes drives serialisation
+// delay.
+type Packet struct {
+	Src, Dst Addr
+	Size     int
+	Payload  any
+}
+
+// Handler receives delivered packets.
+type Handler func(Packet)
+
+// LinkProfile describes one fabric class.
+type LinkProfile struct {
+	// Latency is the one-way small-packet latency (NICs + switch).
+	Latency sim.Time
+	// Bandwidth is payload bandwidth in bytes per second.
+	Bandwidth float64
+	// LossProb is the independent per-packet loss probability.
+	LossProb float64
+}
+
+// EthernetGigE matches 2007-era gigabit Ethernet with a commodity switch.
+func EthernetGigE() LinkProfile {
+	return LinkProfile{Latency: 55 * sim.Microsecond, Bandwidth: 117e6, LossProb: 1e-6}
+}
+
+// InfinibandDDR matches 2007-era DDR InfiniBand. The paper notes (§4)
+// that checkpointing over InfiniBand needs substantial driver work inside
+// VMs; experiment E12 uses this profile.
+func InfinibandDDR() LinkProfile {
+	return LinkProfile{Latency: 4 * sim.Microsecond, Bandwidth: 1400e6, LossProb: 0}
+}
+
+// InterClusterWAN is the default link between clusters on a campus.
+func InterClusterWAN() LinkProfile {
+	return LinkProfile{Latency: 350 * sim.Microsecond, Bandwidth: 117e6, LossProb: 1e-6}
+}
+
+// Stats counts fabric activity.
+type Stats struct {
+	Sent          uint64
+	Delivered     uint64
+	DroppedLoss   uint64 // lost on the wire (random loss or drop rule)
+	DroppedDown   uint64 // destination port down (e.g. VM paused)
+	DroppedNoDest uint64 // destination not attached
+	Bytes         uint64
+}
+
+// Port is one attachment point. A port whose Up flag is false silently
+// discards traffic — this is how a paused VM "loses packets on the wire".
+type Port struct {
+	fabric  *Fabric
+	addr    Addr
+	cluster string
+	handler Handler
+	up      bool
+
+	// ExtraLatency and BandwidthFactor model para-virtualised I/O: Xen's
+	// split-driver network path adds latency and costs bandwidth. The vm
+	// package sets these on guest ports.
+	ExtraLatency    sim.Time
+	BandwidthFactor float64 // multiplies effective bandwidth; 0 means 1.0
+
+	// busyUntil models NIC transmit serialisation: packets from one port
+	// leave the wire back to back, never overlapping. This both enforces
+	// the bandwidth limit for multi-segment sends and keeps same-path
+	// packets in order.
+	busyUntil sim.Time
+}
+
+// Addr returns the port's address.
+func (p *Port) Addr() Addr { return p.addr }
+
+// Cluster returns the cluster the port is currently attached to.
+func (p *Port) Cluster() string { return p.cluster }
+
+// Up reports whether the port is accepting traffic.
+func (p *Port) Up() bool { return p.up }
+
+// SetUp raises or lowers the port.
+func (p *Port) SetUp(up bool) { p.up = up }
+
+// SetHandler replaces the delivery callback.
+func (p *Port) SetHandler(h Handler) { p.handler = h }
+
+// Move reattaches the port to another cluster, keeping its address.
+func (p *Port) Move(cluster string) error {
+	if _, ok := p.fabric.clusters[cluster]; !ok {
+		return fmt.Errorf("netsim: unknown cluster %q", cluster)
+	}
+	p.cluster = cluster
+	return nil
+}
+
+// Detach removes the port from the fabric.
+func (p *Port) Detach() {
+	delete(p.fabric.ports, p.addr)
+	p.up = false
+}
+
+// Fabric is the interconnect. It is built from named clusters, each with
+// a link profile, joined by an inter-cluster profile.
+type Fabric struct {
+	kernel   *sim.Kernel
+	clusters map[string]LinkProfile
+	inter    LinkProfile
+	ports    map[Addr]*Port
+	stats    Stats
+
+	// DropRule, when set, force-drops matching packets. Experiments use
+	// it to cut specific messages at a snapshot boundary (E3).
+	DropRule func(Packet) bool
+}
+
+// NewFabric creates an empty fabric with the default inter-cluster link.
+func NewFabric(k *sim.Kernel) *Fabric {
+	return &Fabric{
+		kernel:   k,
+		clusters: make(map[string]LinkProfile),
+		inter:    InterClusterWAN(),
+		ports:    make(map[Addr]*Port),
+	}
+}
+
+// AddCluster registers a cluster with the given intra-cluster profile.
+func (f *Fabric) AddCluster(name string, profile LinkProfile) {
+	f.clusters[name] = profile
+}
+
+// SetInterCluster replaces the inter-cluster profile.
+func (f *Fabric) SetInterCluster(profile LinkProfile) { f.inter = profile }
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Attach creates an up port at addr in cluster. Attaching an address twice
+// panics: addresses are identities.
+func (f *Fabric) Attach(addr Addr, cluster string, h Handler) *Port {
+	if _, ok := f.clusters[cluster]; !ok {
+		panic(fmt.Sprintf("netsim: attach to unknown cluster %q", cluster))
+	}
+	if _, dup := f.ports[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate attach of %q", addr))
+	}
+	p := &Port{fabric: f, addr: addr, cluster: cluster, handler: h, up: true}
+	f.ports[addr] = p
+	return p
+}
+
+// Lookup returns the port for addr, if attached.
+func (f *Fabric) Lookup(addr Addr) (*Port, bool) {
+	p, ok := f.ports[addr]
+	return p, ok
+}
+
+// profileFor picks the link profile governing a src→dst packet.
+func (f *Fabric) profileFor(src, dst *Port) LinkProfile {
+	if src.cluster == dst.cluster {
+		return f.clusters[src.cluster]
+	}
+	return f.inter
+}
+
+// PathBandwidth reports the effective bulk-transfer bandwidth between two
+// attached addresses (bytes/s), including per-port factors. Bulk flows
+// (image copies, migrations) use this instead of per-packet simulation.
+func (f *Fabric) PathBandwidth(src, dst Addr) (float64, error) {
+	ps, ok := f.ports[src]
+	if !ok {
+		return 0, fmt.Errorf("netsim: source %q not attached", src)
+	}
+	pd, ok := f.ports[dst]
+	if !ok {
+		return 0, fmt.Errorf("netsim: destination %q not attached", dst)
+	}
+	return f.effectiveBandwidth(ps, pd), nil
+}
+
+// ClusterBandwidth reports the raw profile bandwidth between two clusters
+// (the same cluster gives the intra-cluster profile).
+func (f *Fabric) ClusterBandwidth(a, b string) float64 {
+	if a == b {
+		if prof, ok := f.clusters[a]; ok {
+			return prof.Bandwidth
+		}
+		return 0
+	}
+	return f.inter.Bandwidth
+}
+
+// Delay computes the one-way delay for a packet of size bytes between two
+// attached addresses, including para-virt port overheads.
+func (f *Fabric) Delay(src, dst Addr, size int) (sim.Time, error) {
+	ps, ok := f.ports[src]
+	if !ok {
+		return 0, fmt.Errorf("netsim: source %q not attached", src)
+	}
+	pd, ok := f.ports[dst]
+	if !ok {
+		return 0, fmt.Errorf("netsim: destination %q not attached", dst)
+	}
+	return f.delay(ps, pd, size), nil
+}
+
+func (f *Fabric) delay(src, dst *Port, size int) sim.Time {
+	prof := f.profileFor(src, dst)
+	d := prof.Latency + src.ExtraLatency + dst.ExtraLatency
+	if size > 0 {
+		if bw := f.effectiveBandwidth(src, dst); bw > 0 {
+			d += sim.Time(float64(size) / bw * float64(sim.Second))
+		}
+	}
+	return d
+}
+
+func (f *Fabric) effectiveBandwidth(src, dst *Port) float64 {
+	bw := f.profileFor(src, dst).Bandwidth
+	for _, factor := range []float64{src.BandwidthFactor, dst.BandwidthFactor} {
+		if factor > 0 {
+			bw *= factor
+		}
+	}
+	return bw
+}
+
+// Send puts a packet on the wire. Delivery (or loss) is resolved as a
+// future event. The sender's NIC serialises transmissions (packets queue
+// behind earlier ones from the same port), so a burst of segments honours
+// the link bandwidth and stays in order. Loss semantics: the loss draw
+// happens at delivery time so that a destination that went down mid-flight
+// also loses the packet — matching "packets to a saved VM are lost on the
+// wire".
+func (f *Fabric) Send(pkt Packet) {
+	f.stats.Sent++
+	f.stats.Bytes += uint64(pkt.Size)
+	src, ok := f.ports[pkt.Src]
+	if !ok || !src.up {
+		// A down/detached sender cannot transmit at all.
+		f.stats.DroppedDown++
+		return
+	}
+	if f.DropRule != nil && f.DropRule(pkt) {
+		f.stats.DroppedLoss++
+		return
+	}
+	dst, ok := f.ports[pkt.Dst]
+	if !ok {
+		f.stats.DroppedNoDest++
+		return
+	}
+	prof := f.profileFor(src, dst)
+	if prof.LossProb > 0 && f.kernel.Rand().Float64() < prof.LossProb {
+		f.stats.DroppedLoss++
+		return
+	}
+	// NIC serialisation: the packet finishes transmitting txTime after
+	// the NIC frees up, then propagates for the latency term.
+	var txTime sim.Time
+	if pkt.Size > 0 {
+		if bw := f.effectiveBandwidth(src, dst); bw > 0 {
+			txTime = sim.Time(float64(pkt.Size) / bw * float64(sim.Second))
+		}
+	}
+	start := f.kernel.Now()
+	if src.busyUntil > start {
+		start = src.busyUntil
+	}
+	depart := start + txTime
+	src.busyUntil = depart
+	arrive := depart + prof.Latency + src.ExtraLatency + dst.ExtraLatency
+	f.kernel.At(arrive, func() {
+		p, ok := f.ports[pkt.Dst]
+		if !ok {
+			f.stats.DroppedNoDest++
+			return
+		}
+		if !p.up || p.handler == nil {
+			f.stats.DroppedDown++
+			return
+		}
+		f.stats.Delivered++
+		p.handler(pkt)
+	})
+}

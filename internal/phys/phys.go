@@ -1,0 +1,204 @@
+// Package phys models the physical substrate DVC virtualises: clusters of
+// nodes with CPUs, RAM, disks and hardware clocks, plus fault injection.
+//
+// The paper's motivation (§1) is that hardware reliability will not
+// improve, so software must hide faults. Nodes here fail — crash outright
+// or with advance warning ("when hardware faults can be predicted") — and
+// everything running on them dies with them.
+package phys
+
+import (
+	"fmt"
+	"sort"
+
+	"dvc/internal/clock"
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+)
+
+// Spec describes one node's hardware.
+type Spec struct {
+	// RAMBytes is physical memory; it bounds the RAM of hosted VMs.
+	RAMBytes int64
+	// DiskBandwidth is the local/staging disk bandwidth in bytes/s,
+	// which paces checkpoint image dumps.
+	DiskBandwidth float64
+	// GFlops is the node's compute rate, used by workloads to convert
+	// flop counts into compute time.
+	GFlops float64
+}
+
+// DefaultSpec matches a 2007-era dual-socket cluster node.
+func DefaultSpec() Spec {
+	return Spec{
+		RAMBytes:      4 << 30,
+		DiskBandwidth: 60e6,
+		GFlops:        10,
+	}
+}
+
+// Node is one physical machine.
+type Node struct {
+	id      string
+	cluster string
+	spec    Spec
+	clk     *clock.Clock
+	up      bool
+	stack   string
+
+	onCrash  []func()
+	onRepair []func()
+}
+
+// Stack returns the node's installed software stack label (empty =
+// unspecified). Jobs that need a particular stack can only run natively
+// on matching nodes — the constraint DVC's per-job virtual clusters
+// remove.
+func (n *Node) Stack() string { return n.stack }
+
+// ID returns the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// Cluster returns the name of the cluster the node belongs to.
+func (n *Node) Cluster() string { return n.cluster }
+
+// Spec returns the node's hardware description.
+func (n *Node) Spec() Spec { return n.spec }
+
+// Clock returns the node's hardware clock.
+func (n *Node) Clock() *clock.Clock { return n.clk }
+
+// Up reports whether the node is healthy.
+func (n *Node) Up() bool { return n.up }
+
+// OnCrash registers a callback invoked when the node fails. The
+// hypervisor uses this to kill hosted domains.
+func (n *Node) OnCrash(fn func()) { n.onCrash = append(n.onCrash, fn) }
+
+// OnRepair registers a callback invoked when the node comes back.
+func (n *Node) OnRepair(fn func()) { n.onRepair = append(n.onRepair, fn) }
+
+// Fail crashes the node: everything it hosts dies.
+func (n *Node) Fail() {
+	if !n.up {
+		return
+	}
+	n.up = false
+	for _, fn := range n.onCrash {
+		fn()
+	}
+}
+
+// Repair brings the node back (empty: whatever it hosted is gone).
+func (n *Node) Repair() {
+	if n.up {
+		return
+	}
+	n.up = true
+	for _, fn := range n.onRepair {
+		fn()
+	}
+}
+
+// Site is a collection of clusters sharing a fabric — the multi-cluster
+// environment DVC spans (paper Figure 1).
+type Site struct {
+	Kernel *sim.Kernel
+	Fabric *netsim.Fabric
+	NTP    *clock.NTPDaemon
+
+	clusters map[string][]*Node
+	order    []string
+	nodes    map[string]*Node
+	clockCfg clock.Config
+}
+
+// NewSite creates a site. The NTP daemon is created but not started;
+// experiments choose whether clocks are disciplined (E1 runs without).
+func NewSite(k *sim.Kernel, clockCfg clock.Config, ntpCfg clock.NTPConfig) *Site {
+	return &Site{
+		Kernel:   k,
+		Fabric:   netsim.NewFabric(k),
+		NTP:      clock.NewNTPDaemon(k, ntpCfg),
+		clusters: make(map[string][]*Node),
+		nodes:    make(map[string]*Node),
+		clockCfg: clockCfg,
+	}
+}
+
+// DefaultSite builds a site with commodity clocks and LAN NTP.
+func DefaultSite(k *sim.Kernel) *Site {
+	return NewSite(k, clock.DefaultConfig(), clock.DefaultNTPConfig())
+}
+
+// AddCluster creates a cluster of count identical nodes named
+// "<name>-nNN", registers its link profile, and returns the nodes.
+func (s *Site) AddCluster(name string, count int, spec Spec, profile netsim.LinkProfile) []*Node {
+	if _, dup := s.clusters[name]; dup {
+		panic(fmt.Sprintf("phys: duplicate cluster %q", name))
+	}
+	s.Fabric.AddCluster(name, profile)
+	nodes := make([]*Node, count)
+	for i := range nodes {
+		n := &Node{
+			id:      fmt.Sprintf("%s-n%02d", name, i),
+			cluster: name,
+			spec:    spec,
+			clk:     clock.New(s.Kernel, s.clockCfg),
+			up:      true,
+		}
+		s.NTP.Add(n.clk)
+		nodes[i] = n
+		s.nodes[n.id] = n
+	}
+	s.clusters[name] = nodes
+	s.order = append(s.order, name)
+	return nodes
+}
+
+// Cluster returns the nodes of a cluster.
+func (s *Site) Cluster(name string) []*Node { return s.clusters[name] }
+
+// SetClusterStack labels every node of a cluster with a software stack
+// (OS image, MPI build, libraries). Physical jobs demand stack equality;
+// virtual clusters carry their own stack and do not care.
+func (s *Site) SetClusterStack(name, stack string) {
+	for _, n := range s.clusters[name] {
+		n.stack = stack
+	}
+}
+
+// ClusterNames returns cluster names in creation order.
+func (s *Site) ClusterNames() []string { return append([]string(nil), s.order...) }
+
+// Node finds a node by ID.
+func (s *Site) Node(id string) (*Node, bool) {
+	n, ok := s.nodes[id]
+	return n, ok
+}
+
+// Nodes returns every node, sorted by ID.
+func (s *Site) Nodes() []*Node {
+	ids := make([]string, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Node, len(ids))
+	for i, id := range ids {
+		out[i] = s.nodes[id]
+	}
+	return out
+}
+
+// UpNodes returns the healthy nodes of a cluster (all clusters if name
+// is empty), sorted by ID.
+func (s *Site) UpNodes(name string) []*Node {
+	var out []*Node
+	for _, n := range s.Nodes() {
+		if n.up && (name == "" || n.cluster == name) {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,237 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that everything else in the DVC reproduction runs on.
+//
+// The kernel owns virtual time. Components schedule events (callbacks) at
+// absolute virtual times or after relative delays; the kernel executes them
+// in time order, breaking ties by schedule order, so a simulation with a
+// fixed seed is reproducible bit for bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. It is deliberately distinct from time.Time: simulated
+// components must never consult the host clock.
+type Time int64
+
+// Common durations re-exported for readability at call sites.
+const (
+	Nanosecond  = Time(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+	Minute      = 60 * Second
+	Hour        = 60 * Minute
+)
+
+// Duration converts a time.Duration into simulation time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// String renders the time with time.Duration formatting for logs.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds reports the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created through Kernel.At and Kernel.After.
+type event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int // heap index, -1 when popped
+}
+
+// Handle identifies a scheduled event so it can be cancelled. Handles are
+// single-use: once the event fires or is cancelled the handle is inert.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	h.ev.fn = nil
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead }
+
+// When returns the virtual time the event is (or was) scheduled for.
+func (h Handle) When() Time {
+	if h.ev == nil {
+		return 0
+	}
+	return h.ev.when
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Kernel is the discrete-event scheduler. It is not safe for concurrent
+// use: the whole simulation is single-threaded by design so that runs are
+// deterministic.
+type Kernel struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+// Two kernels with the same seed and the same schedule of calls produce
+// identical simulations.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All simulated
+// randomness must come from here.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Fired reports how many events have executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports how many events are waiting in the queue (including
+// cancelled events that have not yet been discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: that is always a logic error in a discrete-event model.
+func (k *Kernel) At(t Time, fn func()) Handle {
+	if fn == nil {
+		panic("sim: At with nil callback")
+	}
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, t=%v)", k.now, t))
+	}
+	ev := &event{when: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return Handle{ev}
+}
+
+// After schedules fn to run d after the current time. Negative delays are
+// clamped to zero (fire on the next dispatch, preserving order).
+func (k *Kernel) After(d Time, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Halt stops the run loop after the current event finishes.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Halted reports whether Halt has been called.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// Step executes the single next pending event, advancing virtual time to
+// its timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		ev := heap.Pop(&k.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		if ev.when < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = ev.when
+		fn := ev.fn
+		ev.dead = true
+		ev.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Halt is called. It returns
+// the number of events executed by this call.
+func (k *Kernel) Run() uint64 {
+	start := k.fired
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+	return k.fired - start
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; virtual time is advanced to deadline
+// if the run was not halted early (so that subsequent scheduling is
+// relative to the deadline).
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	start := k.fired
+	k.halted = false
+	for !k.halted {
+		next, ok := k.peek()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	if !k.halted && k.now < deadline {
+		k.now = deadline
+	}
+	return k.fired - start
+}
+
+// RunFor is RunUntil(Now()+d).
+func (k *Kernel) RunFor(d Time) uint64 { return k.RunUntil(k.now + d) }
+
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.queue) > 0 {
+		if k.queue[0].dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		return k.queue[0].when, true
+	}
+	return 0, false
+}
+
+// NextEventTime reports the timestamp of the earliest pending event.
+func (k *Kernel) NextEventTime() (Time, bool) { return k.peek() }

@@ -1,0 +1,223 @@
+// Package storage models the reliable shared image store the paper
+// requires ("requiring only a reliable storage system to save the state
+// of each OS, and an image management capability to track the correct
+// staging and restart of images").
+//
+// The store serves concurrent transfers with fair-shared aggregate
+// bandwidth, optionally capped per transfer (client NIC/disk). A 26-VM
+// coordinated save is therefore paced the way a real NFS/SAN head would
+// pace it.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dvc/internal/sim"
+	"dvc/internal/vm"
+)
+
+// Config tunes the store.
+type Config struct {
+	// Bandwidth is the aggregate server bandwidth in bytes/s.
+	Bandwidth float64
+	// PerTransferCap bounds a single transfer's rate (client side);
+	// zero means no cap.
+	PerTransferCap float64
+	// BaseLatency is per-operation setup latency.
+	BaseLatency sim.Time
+}
+
+// DefaultConfig models a mid-2000s NFS server on gigabit with striped
+// disks.
+func DefaultConfig() Config {
+	return Config{
+		Bandwidth:      200e6,
+		PerTransferCap: 80e6,
+		BaseLatency:    5 * sim.Millisecond,
+	}
+}
+
+// Object is one stored image with its metadata.
+type Object struct {
+	Key      string
+	Size     int64
+	Image    *vm.Image
+	StoredAt sim.Time
+}
+
+type transfer struct {
+	remaining float64
+	onDone    func()
+}
+
+// Store is the shared checkpoint repository.
+type Store struct {
+	kernel  *sim.Kernel
+	cfg     Config
+	objects map[string]*Object
+
+	active     map[*transfer]struct{}
+	lastUpdate sim.Time
+	pending    sim.Handle
+
+	// Stats
+	Writes, Reads uint64
+	BytesWritten  uint64
+	BytesRead     uint64
+}
+
+// New creates an empty store.
+func New(k *sim.Kernel, cfg Config) *Store {
+	return &Store{
+		kernel:  k,
+		cfg:     cfg,
+		objects: make(map[string]*Object),
+		active:  make(map[*transfer]struct{}),
+	}
+}
+
+// rate returns the current per-transfer rate under fair sharing.
+func (s *Store) rate() float64 {
+	n := len(s.active)
+	if n == 0 {
+		return 0
+	}
+	r := s.cfg.Bandwidth / float64(n)
+	if s.cfg.PerTransferCap > 0 && r > s.cfg.PerTransferCap {
+		r = s.cfg.PerTransferCap
+	}
+	return r
+}
+
+// settle advances all active transfers to the current instant.
+func (s *Store) settle() {
+	now := s.kernel.Now()
+	elapsed := float64(now-s.lastUpdate) / float64(sim.Second)
+	if elapsed > 0 {
+		r := s.rate()
+		for t := range s.active {
+			t.remaining -= r * elapsed
+			if t.remaining < 0 {
+				t.remaining = 0
+			}
+		}
+	}
+	s.lastUpdate = now
+}
+
+// reschedule points the completion event at the next finishing transfer.
+func (s *Store) reschedule() {
+	s.pending.Cancel()
+	if len(s.active) == 0 {
+		return
+	}
+	r := s.rate()
+	var next *transfer
+	for t := range s.active {
+		if next == nil || t.remaining < next.remaining {
+			next = t
+		}
+	}
+	eta := sim.Time(next.remaining / r * float64(sim.Second))
+	s.pending = s.kernel.After(eta, s.complete)
+}
+
+// complete finishes every transfer that has drained.
+func (s *Store) complete() {
+	s.settle()
+	var done []*transfer
+	for t := range s.active {
+		if t.remaining <= 0.5 { // sub-byte residue from float math
+			done = append(done, t)
+		}
+	}
+	for _, t := range done {
+		delete(s.active, t)
+	}
+	s.reschedule()
+	for _, t := range done {
+		if t.onDone != nil {
+			t.onDone()
+		}
+	}
+}
+
+// begin starts a transfer of size bytes and calls onDone at completion.
+func (s *Store) begin(size int64, onDone func()) {
+	s.kernel.After(s.cfg.BaseLatency, func() {
+		s.settle()
+		t := &transfer{remaining: float64(size), onDone: onDone}
+		s.active[t] = struct{}{}
+		s.reschedule()
+	})
+}
+
+// Write stores an image under key, calling onDone when the transfer
+// completes. Overwrites are allowed (new checkpoint generation under the
+// same key replaces the old).
+func (s *Store) Write(key string, img *vm.Image, onDone func()) {
+	size := img.SizeBytes()
+	s.Writes++
+	s.BytesWritten += uint64(size)
+	s.begin(size, func() {
+		s.objects[key] = &Object{Key: key, Size: size, Image: img, StoredAt: s.kernel.Now()}
+		if onDone != nil {
+			onDone()
+		}
+	})
+}
+
+// Read fetches an image by key, calling onDone with it (or an error) when
+// the transfer completes. Missing keys fail after the base latency.
+func (s *Store) Read(key string, onDone func(*vm.Image, error)) {
+	obj, ok := s.objects[key]
+	if !ok {
+		s.kernel.After(s.cfg.BaseLatency, func() {
+			onDone(nil, fmt.Errorf("storage: no object %q", key))
+		})
+		return
+	}
+	s.Reads++
+	s.BytesRead += uint64(obj.Size)
+	s.begin(obj.Size, func() {
+		onDone(obj.Image, nil)
+	})
+}
+
+// Has reports whether key exists.
+func (s *Store) Has(key string) bool {
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Stat returns an object's metadata without a transfer.
+func (s *Store) Stat(key string) (*Object, bool) {
+	o, ok := s.objects[key]
+	return o, ok
+}
+
+// Delete removes an object (metadata operation, instantaneous).
+func (s *Store) Delete(key string) { delete(s.objects, key) }
+
+// Keys lists stored keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	for k := range s.objects {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalBytes reports the sum of stored object sizes.
+func (s *Store) TotalBytes() int64 {
+	var n int64
+	for _, o := range s.objects {
+		n += o.Size
+	}
+	return n
+}

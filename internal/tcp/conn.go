@@ -1,0 +1,562 @@
+package tcp
+
+import (
+	"fmt"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+)
+
+// State is a connection's lifecycle state.
+type State int
+
+// Connection states (a condensed version of the TCP state machine; the
+// TIME_WAIT family is collapsed into Closed).
+const (
+	StateSynSent State = iota
+	StateSynRcvd
+	StateEstablished
+	StateClosing // FIN sent or received, not yet fully closed
+	StateClosed
+	StateReset
+)
+
+func (s State) String() string {
+	switch s {
+	case StateSynSent:
+		return "SynSent"
+	case StateSynRcvd:
+		return "SynRcvd"
+	case StateEstablished:
+		return "Established"
+	case StateClosing:
+		return "Closing"
+	case StateClosed:
+		return "Closed"
+	case StateReset:
+		return "Reset"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ConnKey uniquely identifies a connection at one endpoint.
+type ConnKey struct {
+	LocalPort  uint16
+	RemoteAddr netsim.Addr
+	RemotePort uint16
+}
+
+func (k ConnKey) String() string {
+	return fmt.Sprintf(":%d<->%s:%d", k.LocalPort, k.RemoteAddr, k.RemotePort)
+}
+
+// Conn is one endpoint of a connection. All methods must be called from
+// simulation context (never concurrently).
+//
+// Callbacks (OnReadable, OnEstablished, OnError) are not part of the
+// snapshot; the owner re-registers them after a restore.
+type Conn struct {
+	stack *Stack
+	key   ConnKey
+	state State
+
+	// Send side. sendBuf holds bytes [sndUna, sndUna+len) — both unacked
+	// and not-yet-transmitted data.
+	sndUna, sndNxt uint64
+	sendBuf        []byte
+	closeRequested bool
+	finSent        bool
+	finAcked       bool
+
+	// Receive side.
+	rcvNxt    uint64
+	recvBuf   []byte
+	ooo       map[uint64][]byte // out-of-order segments keyed by seq
+	remoteFin bool
+	finRcvd   bool // FIN consumed into rcvNxt
+
+	// Retransmission.
+	rto        sim.Time
+	retries    int
+	timer      sim.Handle
+	timerLeft  sim.Time // remaining time while frozen; -1 when no timer
+	srtt       sim.Time
+	rttvar     sim.Time
+	hasRTT     bool
+	rttSeq     uint64   // segment end being timed (0 = none)
+	rttSentAt  sim.Time // when it was sent
+	retransHit bool     // Karn: a retransmission invalidates the sample
+
+	// Counters for experiments.
+	Retransmits uint64
+	DupSegments uint64
+
+	// Callbacks, owned by the guest layer.
+	OnReadable    func()
+	OnEstablished func()
+	OnError       func(error)
+	OnAck         func() // fires when sndUna advances (send progress)
+}
+
+// Key returns the connection's demux key.
+func (c *Conn) Key() ConnKey { return c.key }
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// RemoteAddr returns the peer's fabric address.
+func (c *Conn) RemoteAddr() netsim.Addr { return c.key.RemoteAddr }
+
+// RTO returns the current retransmission timeout.
+func (c *Conn) RTO() sim.Time { return c.rto }
+
+// Write queues data for transmission. It never blocks; the guest layer is
+// responsible for modelling back-pressure via SendBacklog.
+func (c *Conn) Write(data []byte) error {
+	switch c.state {
+	case StateReset:
+		return ErrReset
+	case StateClosed:
+		return ErrClosed
+	}
+	if c.closeRequested {
+		return ErrClosed
+	}
+	c.sendBuf = append(c.sendBuf, data...)
+	c.trySend()
+	return nil
+}
+
+// SendBacklog reports bytes queued but not yet acknowledged.
+func (c *Conn) SendBacklog() int { return len(c.sendBuf) }
+
+// Readable reports how many bytes are ready for the application.
+func (c *Conn) Readable() int { return len(c.recvBuf) }
+
+// EOF reports whether the peer has closed its direction and all data has
+// been drained.
+func (c *Conn) EOF() bool { return c.finRcvd && len(c.recvBuf) == 0 }
+
+// Read consumes up to n bytes from the receive buffer.
+func (c *Conn) Read(n int) []byte {
+	if n > len(c.recvBuf) {
+		n = len(c.recvBuf)
+	}
+	out := c.recvBuf[:n:n]
+	c.recvBuf = c.recvBuf[n:]
+	return out
+}
+
+// Close requests a graceful close: remaining data is sent, then FIN.
+func (c *Conn) Close() {
+	if c.closeRequested || c.state == StateClosed || c.state == StateReset {
+		return
+	}
+	c.closeRequested = true
+	c.trySend()
+}
+
+// Abort sends RST and tears the connection down immediately.
+func (c *Conn) Abort() {
+	if c.state == StateClosed || c.state == StateReset {
+		return
+	}
+	c.sendSegment(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+	c.teardown(StateClosed, nil)
+}
+
+// --- internals ---
+
+func (c *Conn) now() sim.Time { return c.stack.kernel.Now() }
+
+func (c *Conn) sendSegment(seg *Segment) {
+	seg.SrcPort = c.key.LocalPort
+	seg.DstPort = c.key.RemotePort
+	c.stack.transmit(c.key.RemoteAddr, seg)
+}
+
+// trySend pushes new data/FIN within the send window and manages the
+// retransmit timer.
+func (c *Conn) trySend() {
+	if c.state != StateEstablished && c.state != StateClosing {
+		return
+	}
+	inFlight := func() int { return int(c.sndNxt - c.sndUna) }
+	sent := false
+	for {
+		unsent := int(c.sndUna) + len(c.sendBuf) - int(c.sndNxt)
+		if unsent <= 0 || inFlight() >= c.stack.cfg.SendWindow {
+			break
+		}
+		n := unsent
+		if n > c.stack.cfg.MSS {
+			n = c.stack.cfg.MSS
+		}
+		if room := c.stack.cfg.SendWindow - inFlight(); n > room {
+			n = room
+		}
+		off := int(c.sndNxt - c.sndUna)
+		data := c.sendBuf[off : off+n : off+n]
+		seg := &Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Data: data}
+		// Time this segment for RTT if nothing is being timed.
+		if c.rttSeq == 0 {
+			c.rttSeq = c.sndNxt + uint64(n)
+			c.rttSentAt = c.now()
+			c.retransHit = false
+		}
+		c.sendSegment(seg)
+		c.sndNxt += uint64(n)
+		sent = true
+	}
+	// FIN once everything queued has been transmitted.
+	if c.closeRequested && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sendBuf) {
+		c.sendSegment(&Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+		c.sndNxt++
+		c.finSent = true
+		if c.state == StateEstablished {
+			c.state = StateClosing
+		}
+		sent = true
+	}
+	if sent && !c.timer.Pending() {
+		c.armTimer(c.rto)
+	}
+}
+
+func (c *Conn) armTimer(d sim.Time) {
+	c.timer.Cancel()
+	c.timer = c.stack.kernel.After(d, c.onTimeout)
+}
+
+func (c *Conn) stopTimer() {
+	c.timer.Cancel()
+	c.timerLeft = -1
+}
+
+// onTimeout is the retransmission timer: back off, resend the earliest
+// outstanding segment, and reset the connection when the budget is gone.
+func (c *Conn) onTimeout() {
+	if c.outstanding() == 0 {
+		return
+	}
+	c.retries++
+	if c.retries > c.stack.cfg.MaxRetries {
+		c.sendSegment(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+		c.teardown(StateReset, ErrTimeout)
+		return
+	}
+	c.Retransmits++
+	c.retransHit = true
+	c.rto *= 2
+	if c.rto > c.stack.cfg.MaxRTO {
+		c.rto = c.stack.cfg.MaxRTO
+	}
+	c.retransmitHead()
+	c.armTimer(c.rto)
+}
+
+// outstanding reports unacknowledged sequence space (data + SYN/FIN).
+func (c *Conn) outstanding() uint64 {
+	if c.state == StateSynSent || c.state == StateSynRcvd {
+		return 1
+	}
+	return c.sndNxt - c.sndUna
+}
+
+// retransmitHead resends the earliest unacknowledged unit and collapses
+// the send window to it (go-back-N): a timeout usually means the whole
+// in-flight window is gone, so the rest is re-sent by trySend as ACKs
+// come back — one window per RTT instead of one segment per RTO.
+func (c *Conn) retransmitHead() {
+	switch c.state {
+	case StateSynSent:
+		c.sendSegment(&Segment{Flags: FlagSYN, Seq: 0})
+		return
+	case StateSynRcvd:
+		c.sendSegment(&Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt})
+		return
+	}
+	dataLen := len(c.sendBuf)
+	if dataLen > 0 && c.sndNxt > c.sndUna {
+		// Resend first segment of unacked data.
+		n := dataLen
+		if n > c.stack.cfg.MSS {
+			n = c.stack.cfg.MSS
+		}
+		if avail := int(c.sndNxt - c.sndUna); n > avail {
+			n = avail
+		}
+		if n > 0 {
+			seg := &Segment{Flags: FlagACK, Seq: c.sndUna, Ack: c.rcvNxt, Data: c.sendBuf[:n:n]}
+			c.sendSegment(seg)
+			// Go-back-N: anything beyond the head is presumed lost and
+			// will be re-sent by trySend; a previously sent FIN moves
+			// back with it.
+			if back := c.sndUna + uint64(n); c.sndNxt > back {
+				c.sndNxt = back
+				if c.finSent && !c.finAcked {
+					c.finSent = false
+					if c.state == StateClosing && !c.finRcvd {
+						c.state = StateEstablished
+					}
+				}
+			}
+			return
+		}
+	}
+	if c.finSent && !c.finAcked {
+		c.sendSegment(&Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt - 1, Ack: c.rcvNxt})
+	}
+}
+
+// handle processes an incoming segment addressed to this connection.
+func (c *Conn) handle(seg *Segment) {
+	if seg.Flags.Has(FlagRST) {
+		c.teardown(StateReset, ErrReset)
+		return
+	}
+	switch c.state {
+	case StateSynSent:
+		if seg.Flags.Has(FlagSYN) && seg.Flags.Has(FlagACK) {
+			c.state = StateEstablished
+			c.sndUna, c.sndNxt = 1, 1
+			c.rcvNxt = 1
+			c.retries = 0
+			c.stopTimer()
+			// Pure ACK completes the handshake.
+			c.sendSegment(&Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+			if c.OnEstablished != nil {
+				c.OnEstablished()
+			}
+			c.trySend()
+		}
+		return
+	case StateSynRcvd:
+		if seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+			// Duplicate SYN: our SYN|ACK was lost.
+			c.sendSegment(&Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt})
+			return
+		}
+		if seg.Flags.Has(FlagACK) && seg.Ack >= 1 {
+			c.state = StateEstablished
+			c.sndUna, c.sndNxt = 1, 1
+			c.retries = 0
+			c.stopTimer()
+			if l := c.stack.listeners[c.key.LocalPort]; l != nil && l.OnAccept != nil {
+				l.OnAccept(c)
+			}
+			// Fall through to process any data riding on this segment.
+		} else {
+			return
+		}
+	case StateClosed, StateReset:
+		c.sendSegment(&Segment{Flags: FlagRST, Seq: c.sndNxt, Ack: c.rcvNxt})
+		return
+	}
+
+	if seg.Flags.Has(FlagSYN) {
+		// A retransmitted SYN|ACK reaching an established connection
+		// means our final handshake ACK was lost: re-ACK so the peer can
+		// leave SynRcvd.
+		c.sendAck()
+		return
+	}
+	if seg.Flags.Has(FlagACK) {
+		c.processAck(seg.Ack)
+	}
+	if len(seg.Data) > 0 {
+		c.processData(seg)
+	}
+	if seg.Flags.Has(FlagFIN) {
+		c.processFin(seg)
+	}
+}
+
+func (c *Conn) processAck(ack uint64) {
+	if ack <= c.sndUna {
+		return
+	}
+	if ack > c.sndNxt {
+		ack = c.sndNxt // peer acking beyond what we sent: clamp
+	}
+	advanced := ack - c.sndUna
+	// Consume acked bytes from the buffer. The FIN occupies sequence
+	// space but no buffer space.
+	bufAdvance := advanced
+	if c.finSent && ack == c.sndNxt {
+		c.finAcked = true
+		if bufAdvance > 0 {
+			bufAdvance--
+		}
+	}
+	if int(bufAdvance) > len(c.sendBuf) {
+		bufAdvance = uint64(len(c.sendBuf))
+	}
+	c.sendBuf = c.sendBuf[bufAdvance:]
+	c.sndUna = ack
+	c.retries = 0
+
+	// RTT sample (Karn's algorithm: skip if a retransmission happened).
+	if c.rttSeq != 0 && ack >= c.rttSeq {
+		if !c.retransHit {
+			c.rttSample(c.now() - c.rttSentAt)
+		}
+		c.rttSeq = 0
+	}
+	// New progress collapses any backed-off RTO to the estimate again
+	// (real stacks recompute RTO from srtt/rttvar on each ACK; without
+	// this, one burst of timeouts leaves the timer exponentially slow).
+	c.refreshRTO()
+
+	if c.outstanding() == 0 {
+		c.stopTimer()
+	} else {
+		c.armTimer(c.rto)
+	}
+	c.maybeFinishClose()
+	c.trySend()
+	if c.OnAck != nil {
+		c.OnAck()
+	}
+}
+
+func (c *Conn) rttSample(sample sim.Time) {
+	if sample < 0 {
+		return
+	}
+	if !c.hasRTT {
+		c.srtt = sample
+		c.rttvar = sample / 2
+		c.hasRTT = true
+	} else {
+		diff := c.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		c.rttvar = (3*c.rttvar + diff) / 4
+		c.srtt = (7*c.srtt + sample) / 8
+	}
+	c.refreshRTO()
+}
+
+// refreshRTO recomputes the timeout from the current estimate, undoing
+// exponential backoff once the connection is making progress.
+func (c *Conn) refreshRTO() {
+	var rto sim.Time
+	if c.hasRTT {
+		rto = c.srtt + 4*c.rttvar
+	} else {
+		rto = c.stack.cfg.InitialRTO
+	}
+	if rto < c.stack.cfg.MinRTO {
+		rto = c.stack.cfg.MinRTO
+	}
+	if rto > c.stack.cfg.MaxRTO {
+		rto = c.stack.cfg.MaxRTO
+	}
+	c.rto = rto
+}
+
+func (c *Conn) processData(seg *Segment) {
+	end := seg.Seq + uint64(len(seg.Data))
+	switch {
+	case end <= c.rcvNxt:
+		// Complete duplicate (e.g. our ACK was lost at the snapshot —
+		// Scenario 2). Re-ACK and discard.
+		c.DupSegments++
+		c.sendAck()
+	case seg.Seq > c.rcvNxt:
+		// Out of order: stash and duplicate-ACK.
+		if c.ooo == nil {
+			c.ooo = make(map[uint64][]byte)
+		}
+		c.ooo[seg.Seq] = append([]byte(nil), seg.Data...)
+		c.sendAck()
+	default:
+		// In order (possibly with an already-received prefix).
+		skip := c.rcvNxt - seg.Seq
+		c.recvBuf = append(c.recvBuf, seg.Data[skip:]...)
+		c.rcvNxt = end
+		// Drain contiguous out-of-order segments.
+		for {
+			data, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.recvBuf = append(c.recvBuf, data...)
+			c.rcvNxt += uint64(len(data))
+		}
+		c.sendAck()
+		if c.OnReadable != nil {
+			c.OnReadable()
+		}
+	}
+}
+
+func (c *Conn) processFin(seg *Segment) {
+	finSeq := seg.Seq + uint64(len(seg.Data))
+	if finSeq != c.rcvNxt {
+		// FIN for data we have not seen yet (or a duplicate): if it is a
+		// duplicate, re-ACK.
+		if finSeq < c.rcvNxt {
+			c.sendAck()
+		}
+		return
+	}
+	if !c.finRcvd {
+		c.rcvNxt++
+		c.finRcvd = true
+		c.remoteFin = true
+		if c.state == StateEstablished {
+			c.state = StateClosing
+		}
+		if c.OnReadable != nil {
+			c.OnReadable() // EOF is a readability event
+		}
+	}
+	c.sendAck()
+	c.maybeFinishClose()
+}
+
+func (c *Conn) maybeFinishClose() {
+	if c.finRcvd && c.finSent && c.finAcked && c.state != StateClosed {
+		c.teardown(StateClosed, nil)
+	}
+}
+
+func (c *Conn) sendAck() {
+	c.sendSegment(&Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
+}
+
+// teardown finalises the connection and notifies the owner on error.
+func (c *Conn) teardown(state State, err error) {
+	c.state = state
+	c.stopTimer()
+	if err != nil && c.OnError != nil {
+		c.OnError(err)
+	}
+	if state == StateReset {
+		c.stack.resets++
+	}
+}
+
+// freeze cancels the live retransmission timer, recording its remainder.
+// Guest jiffy timers do not advance while the VM is suspended.
+func (c *Conn) freeze() {
+	if c.timer.Pending() {
+		c.timerLeft = c.timer.When() - c.now()
+		c.timer.Cancel()
+	} else {
+		c.timerLeft = -1
+	}
+}
+
+// thaw re-arms the retransmission timer from its recorded remainder.
+func (c *Conn) thaw() {
+	if c.timerLeft >= 0 {
+		c.armTimer(c.timerLeft)
+		c.timerLeft = -1
+	}
+}

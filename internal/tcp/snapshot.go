@@ -1,0 +1,166 @@
+package tcp
+
+import (
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+)
+
+// ConnSnapshot is the pure-data image of one connection: everything a
+// whole-VM checkpoint captures about a socket. Callbacks are not included;
+// the guest re-registers them after restore.
+type ConnSnapshot struct {
+	Key   ConnKey
+	State State
+
+	SndUna, SndNxt uint64
+	SendBuf        []byte
+	CloseRequested bool
+	FinSent        bool
+	FinAcked       bool
+
+	RcvNxt    uint64
+	RecvBuf   []byte
+	OOO       map[uint64][]byte
+	RemoteFin bool
+	FinRcvd   bool
+
+	RTO       sim.Time
+	Retries   int
+	TimerLeft sim.Time // remaining retransmit timer; -1 = not armed
+	SRTT      sim.Time
+	RTTVar    sim.Time
+	HasRTT    bool
+
+	Retransmits uint64
+	DupSegments uint64
+}
+
+// StackSnapshot is the pure-data image of a whole stack.
+type StackSnapshot struct {
+	Addr          netsim.Addr
+	Config        Config
+	Conns         []ConnSnapshot
+	ListenerPorts []uint16
+	NextPort      uint16
+	Resets        uint64
+	SegmentsSent  uint64
+	SegmentsRcvd  uint64
+}
+
+// Snapshot captures the stack. The stack must be frozen first — capturing
+// a running stack would race with its own timers, which is exactly the
+// inconsistency LSC exists to avoid — and this method panics otherwise.
+func (s *Stack) Snapshot() *StackSnapshot {
+	if !s.frozen {
+		panic("tcp: Snapshot of a stack that is not frozen")
+	}
+	snap := &StackSnapshot{
+		Addr:         s.addr,
+		Config:       s.cfg,
+		NextPort:     s.nextPort,
+		Resets:       s.resets,
+		SegmentsSent: s.SegmentsSent,
+		SegmentsRcvd: s.SegmentsRcvd,
+	}
+	for port := range s.listeners {
+		snap.ListenerPorts = append(snap.ListenerPorts, port)
+	}
+	sortUint16(snap.ListenerPorts)
+	for _, c := range s.Conns() {
+		cs := ConnSnapshot{
+			Key:            c.key,
+			State:          c.state,
+			SndUna:         c.sndUna,
+			SndNxt:         c.sndNxt,
+			SendBuf:        append([]byte(nil), c.sendBuf...),
+			CloseRequested: c.closeRequested,
+			FinSent:        c.finSent,
+			FinAcked:       c.finAcked,
+			RcvNxt:         c.rcvNxt,
+			RecvBuf:        append([]byte(nil), c.recvBuf...),
+			RemoteFin:      c.remoteFin,
+			FinRcvd:        c.finRcvd,
+			RTO:            c.rto,
+			Retries:        c.retries,
+			TimerLeft:      c.timerLeft,
+			SRTT:           c.srtt,
+			RTTVar:         c.rttvar,
+			HasRTT:         c.hasRTT,
+			Retransmits:    c.Retransmits,
+			DupSegments:    c.DupSegments,
+		}
+		if len(c.ooo) > 0 {
+			cs.OOO = make(map[uint64][]byte, len(c.ooo))
+			for seq, data := range c.ooo {
+				cs.OOO[seq] = append([]byte(nil), data...)
+			}
+		}
+		snap.Conns = append(snap.Conns, cs)
+	}
+	return snap
+}
+
+// RestoreStack rebuilds a stack from a snapshot in the frozen state. The
+// caller thaws it once the VM resumes. The restored stack binds to the
+// snapshot's address on the given fabric — which may now route to a
+// different physical node (migration).
+func RestoreStack(k *sim.Kernel, fabric *netsim.Fabric, snap *StackSnapshot) *Stack {
+	s := NewStack(k, fabric, snap.Addr, snap.Config)
+	s.frozen = true
+	s.nextPort = snap.NextPort
+	s.resets = snap.Resets
+	s.SegmentsSent = snap.SegmentsSent
+	s.SegmentsRcvd = snap.SegmentsRcvd
+	for _, port := range snap.ListenerPorts {
+		s.listeners[port] = &Listener{Port: port}
+	}
+	for _, cs := range snap.Conns {
+		c := &Conn{
+			stack:          s,
+			key:            cs.Key,
+			state:          cs.State,
+			sndUna:         cs.SndUna,
+			sndNxt:         cs.SndNxt,
+			sendBuf:        append([]byte(nil), cs.SendBuf...),
+			closeRequested: cs.CloseRequested,
+			finSent:        cs.FinSent,
+			finAcked:       cs.FinAcked,
+			rcvNxt:         cs.RcvNxt,
+			recvBuf:        append([]byte(nil), cs.RecvBuf...),
+			remoteFin:      cs.RemoteFin,
+			finRcvd:        cs.FinRcvd,
+			rto:            cs.RTO,
+			retries:        cs.Retries,
+			timerLeft:      cs.TimerLeft,
+			srtt:           cs.SRTT,
+			rttvar:         cs.RTTVar,
+			hasRTT:         cs.HasRTT,
+			Retransmits:    cs.Retransmits,
+			DupSegments:    cs.DupSegments,
+		}
+		if len(cs.OOO) > 0 {
+			c.ooo = make(map[uint64][]byte, len(cs.OOO))
+			for seq, data := range cs.OOO {
+				c.ooo[seq] = append([]byte(nil), data...)
+			}
+		}
+		s.conns[c.key] = c
+	}
+	return s
+}
+
+// SetListenerAccept re-registers the accept callback for a restored
+// listener port.
+func (s *Stack) SetListenerAccept(port uint16, onAccept func(*Conn)) {
+	if l, ok := s.listeners[port]; ok {
+		l.OnAccept = onAccept
+	}
+}
+
+func sortUint16(v []uint16) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package tcp
+
+import (
+	"fmt"
+	"sort"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+)
+
+// Listener accepts incoming connections on a local port.
+type Listener struct {
+	Port uint16
+	// OnAccept fires when an incoming connection reaches Established.
+	OnAccept func(*Conn)
+}
+
+// Stack is one endpoint's TCP implementation, bound to a fabric address.
+// A guest OS owns exactly one stack; pausing the guest freezes the stack.
+type Stack struct {
+	kernel *sim.Kernel
+	fabric *netsim.Fabric
+	addr   netsim.Addr
+	cfg    Config
+
+	conns     map[ConnKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+	frozen    bool
+	resets    uint64
+
+	// SegmentsSent/SegmentsRcvd count transport activity for experiments.
+	SegmentsSent uint64
+	SegmentsRcvd uint64
+}
+
+// NewStack creates a stack bound to addr on the fabric. The caller is
+// responsible for attaching a port for addr and routing its packets to
+// Deliver (the vm/guest layer does this so it can interpose pause
+// semantics).
+func NewStack(k *sim.Kernel, fabric *netsim.Fabric, addr netsim.Addr, cfg Config) *Stack {
+	return &Stack{
+		kernel:    k,
+		fabric:    fabric,
+		addr:      addr,
+		cfg:       cfg,
+		conns:     make(map[ConnKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+	}
+}
+
+// Addr returns the stack's fabric address.
+func (s *Stack) Addr() netsim.Addr { return s.addr }
+
+// Config returns the stack's transport configuration.
+func (s *Stack) Config() Config { return s.cfg }
+
+// Resets reports how many connections have been reset (either side).
+func (s *Stack) Resets() uint64 { return s.resets }
+
+// Frozen reports whether the stack is currently frozen.
+func (s *Stack) Frozen() bool { return s.frozen }
+
+// Listen registers a listener on port. It panics on a duplicate listen:
+// port allocation is static in this simulation.
+func (s *Stack) Listen(port uint16, onAccept func(*Conn)) *Listener {
+	if _, dup := s.listeners[port]; dup {
+		panic(fmt.Sprintf("tcp: duplicate listen on %s:%d", s.addr, port))
+	}
+	l := &Listener{Port: port, OnAccept: onAccept}
+	s.listeners[port] = l
+	return l
+}
+
+// Connect initiates a connection to raddr:rport from an ephemeral local
+// port. The returned Conn is in SynSent; OnEstablished fires when the
+// handshake completes.
+func (s *Stack) Connect(raddr netsim.Addr, rport uint16) *Conn {
+	lport := s.allocPort()
+	key := ConnKey{LocalPort: lport, RemoteAddr: raddr, RemotePort: rport}
+	c := &Conn{
+		stack:     s,
+		key:       key,
+		state:     StateSynSent,
+		rto:       s.cfg.InitialRTO,
+		timerLeft: -1,
+	}
+	s.conns[key] = c
+	c.sendSegment(&Segment{Flags: FlagSYN, Seq: 0})
+	c.armTimer(c.rto)
+	return c
+}
+
+func (s *Stack) allocPort() uint16 {
+	for {
+		p := s.nextPort
+		s.nextPort++
+		if s.nextPort < 49152 {
+			s.nextPort = 49152
+		}
+		inUse := false
+		for k := range s.conns {
+			if k.LocalPort == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// Conns returns the live connections in deterministic (key-sorted) order.
+func (s *Stack) Conns() []*Conn {
+	keys := make([]ConnKey, 0, len(s.conns))
+	for k := range s.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+	out := make([]*Conn, len(keys))
+	for i, k := range keys {
+		out[i] = s.conns[k]
+	}
+	return out
+}
+
+// Lookup finds a connection by key.
+func (s *Stack) Lookup(key ConnKey) (*Conn, bool) {
+	c, ok := s.conns[key]
+	return c, ok
+}
+
+// Drop removes a closed/reset connection from the table.
+func (s *Stack) Drop(key ConnKey) { delete(s.conns, key) }
+
+func lessKey(a, b ConnKey) bool {
+	if a.LocalPort != b.LocalPort {
+		return a.LocalPort < b.LocalPort
+	}
+	if a.RemoteAddr != b.RemoteAddr {
+		return a.RemoteAddr < b.RemoteAddr
+	}
+	return a.RemotePort < b.RemotePort
+}
+
+// transmit puts a segment on the fabric. Frozen stacks cannot transmit;
+// that can only happen from a stale event and is silently dropped (the
+// wire would drop it anyway).
+func (s *Stack) transmit(dst netsim.Addr, seg *Segment) {
+	if s.frozen {
+		return
+	}
+	s.SegmentsSent++
+	s.fabric.Send(netsim.Packet{Src: s.addr, Dst: dst, Size: seg.WireSize(), Payload: seg})
+}
+
+// Deliver feeds an incoming packet into the stack. The owner wires the
+// netsim port's handler to this method.
+func (s *Stack) Deliver(pkt netsim.Packet) {
+	if s.frozen {
+		return // paused guest: lost on the wire
+	}
+	seg, ok := pkt.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	s.SegmentsRcvd++
+	key := ConnKey{LocalPort: seg.DstPort, RemoteAddr: pkt.Src, RemotePort: seg.SrcPort}
+	if c, ok := s.conns[key]; ok {
+		c.handle(seg)
+		return
+	}
+	// No connection: a SYN to a listening port creates one.
+	if seg.Flags.Has(FlagSYN) && !seg.Flags.Has(FlagACK) {
+		if _, listening := s.listeners[seg.DstPort]; listening {
+			c := &Conn{
+				stack:     s,
+				key:       key,
+				state:     StateSynRcvd,
+				rcvNxt:    1,
+				rto:       s.cfg.InitialRTO,
+				timerLeft: -1,
+			}
+			s.conns[key] = c
+			c.sendSegment(&Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: 1})
+			c.armTimer(c.rto)
+			return
+		}
+	}
+	// Segment for a dead connection: answer with RST unless it is an RST.
+	if !seg.Flags.Has(FlagRST) {
+		s.SegmentsSent++
+		s.fabric.Send(netsim.Packet{Src: s.addr, Dst: pkt.Src, Size: HeaderSize, Payload: &Segment{
+			SrcPort: seg.DstPort, DstPort: seg.SrcPort, Flags: FlagRST, Seq: seg.Ack, Ack: seg.Seq,
+		}})
+	}
+}
+
+// Freeze suspends the stack: retransmission timers stop (their remainders
+// are recorded) and traffic is neither sent nor received. This is the
+// transport half of a Xen "vm pause".
+func (s *Stack) Freeze() {
+	if s.frozen {
+		return
+	}
+	s.frozen = true
+	for _, c := range s.conns {
+		c.freeze()
+	}
+}
+
+// Thaw resumes a frozen stack, re-arming timers from their remainders.
+func (s *Stack) Thaw() {
+	if !s.frozen {
+		return
+	}
+	s.frozen = false
+	for _, c := range s.conns {
+		c.thaw()
+	}
+}

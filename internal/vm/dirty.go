@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"dvc/internal/sim"
+)
+
+// Dirty-page modelling: live migration and incremental checkpointing both
+// depend on how fast a guest rewrites its memory. The model is the
+// standard one from the live-migration literature: a guest dirties pages
+// at a writable-working-set rate while it runs, saturating at its RAM
+// size (re-dirtying the same pages adds nothing).
+
+// DefaultDirtyRate is the default guest write rate: an active HPC code
+// streaming through its arrays rewrites tens of MB/s of distinct pages.
+const DefaultDirtyRate = 40e6 // bytes/s
+
+// SetDirtyRate overrides the domain's dirty-page rate (bytes/s of
+// *distinct* pages). Zero restores the default.
+func (d *Domain) SetDirtyRate(rate float64) {
+	d.dirtyRate = rate
+}
+
+func (d *Domain) effectiveDirtyRate() float64 {
+	if d.dirtyRate > 0 {
+		return d.dirtyRate
+	}
+	return DefaultDirtyRate
+}
+
+// activeTime returns how long the guest has actually executed (guest
+// jiffies) — paused intervals dirty nothing.
+func (d *Domain) activeTime() sim.Time {
+	if d.os == nil {
+		return 0
+	}
+	return d.os.Jiffies()
+}
+
+// DirtyBytesSince models how much distinct memory the guest has written
+// since the given active-time mark, saturating at the guest's RAM.
+func (d *Domain) DirtyBytesSince(mark sim.Time) int64 {
+	active := d.activeTime() - mark
+	if active < 0 {
+		active = 0
+	}
+	dirty := int64(d.effectiveDirtyRate() * active.Seconds())
+	if dirty > d.ram {
+		dirty = d.ram
+	}
+	return dirty
+}
+
+// MarkClean records the current active time as the last full-capture
+// mark and returns it (incremental checkpointing calls this after each
+// successful capture).
+func (d *Domain) MarkClean() sim.Time {
+	d.cleanMark = d.activeTime()
+	return d.cleanMark
+}
+
+// CleanMark returns the active-time mark of the last capture (zero if
+// never captured).
+func (d *Domain) CleanMark() sim.Time { return d.cleanMark }
+
+// CaptureIncrementalImage captures a paused domain as an incremental
+// image against the last MarkClean: the functional payload is complete
+// (restores never need to replay a chain functionally), but the modelled
+// transfer size is only the dirty pages plus page-table metadata.
+func (d *Domain) CaptureIncrementalImage() (*Image, error) {
+	img, err := d.CaptureImage()
+	if err != nil {
+		return nil, err
+	}
+	dirty := d.DirtyBytesSince(d.cleanMark)
+	meta := d.ram / 512 // one 8-byte entry per 4 KiB page
+	img.Incremental = true
+	img.PayloadBytes = dirty + meta
+	return img, nil
+}

@@ -1,0 +1,380 @@
+// Package vm models the Xen-style para-virtualising hypervisor DVC is
+// built on: domains (VMs) hosted on physical nodes, with pause / unpause /
+// save / restore of the complete guest, and para-virtualisation overheads
+// on CPU and network I/O.
+//
+// The capability the paper builds on (§1): "The Xen virtual machine
+// provides the ability to pause, save, and restart the virtual OS,
+// including the state of all processes running within that OS."
+// CaptureImage produces exactly that — a byte image of the entire guest
+// (processes mid-operation, sockets with retransmission state, kernel
+// log) that can be restored on any node of any cluster.
+package vm
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"dvc/internal/guest"
+	"dvc/internal/netsim"
+	"dvc/internal/phys"
+	"dvc/internal/sim"
+	"dvc/internal/tcp"
+)
+
+// XenConfig models the hypervisor's overheads.
+type XenConfig struct {
+	// CPUOverhead scales guest compute time (1.0 = native). 2007-era
+	// para-virtualised CPU-bound code ran within a few percent of
+	// native.
+	CPUOverhead float64
+	// NetExtraLatency is added per packet by the split-driver network
+	// path through dom0.
+	NetExtraLatency sim.Time
+	// NetBandwidthFactor scales guest network bandwidth (<1).
+	NetBandwidthFactor float64
+	// BootTime is how long a domain takes to boot.
+	BootTime sim.Time
+	// Dom0Reserve is RAM kept by the control domain.
+	Dom0Reserve int64
+	// SaveRate and RestoreRate bound image dump/load speed in bytes/s;
+	// zero means use the node's disk bandwidth.
+	SaveRate, RestoreRate float64
+}
+
+// DefaultXenConfig matches published 2007 Xen measurements: ~3% CPU
+// overhead, tens of microseconds of added network latency, modest
+// bandwidth loss.
+func DefaultXenConfig() XenConfig {
+	return XenConfig{
+		CPUOverhead:        1.03,
+		NetExtraLatency:    28 * sim.Microsecond,
+		NetBandwidthFactor: 0.85,
+		BootTime:           25 * sim.Second,
+		Dom0Reserve:        256 << 20,
+	}
+}
+
+// DomainState tracks a domain's lifecycle.
+type DomainState int
+
+// Domain lifecycle states.
+const (
+	StateBooting DomainState = iota
+	StateRunning
+	StatePaused
+	StateDestroyed
+)
+
+func (s DomainState) String() string {
+	switch s {
+	case StateBooting:
+		return "Booting"
+	case StateRunning:
+		return "Running"
+	case StatePaused:
+		return "Paused"
+	case StateDestroyed:
+		return "Destroyed"
+	default:
+		return fmt.Sprintf("DomainState(%d)", int(s))
+	}
+}
+
+// Image is a saved domain: the whole-VM checkpoint artifact.
+type Image struct {
+	DomainName string
+	Addr       netsim.Addr
+	RAMBytes   int64 // guest memory size
+	Data       []byte
+	CapturedAt sim.Time
+	// Checksum guards the functional payload: a restore of a corrupted
+	// image must fail loudly, not resurrect a damaged guest.
+	Checksum uint32
+
+	// Incremental images carry only the pages dirtied since the last
+	// capture; PayloadBytes is their modelled transfer size.
+	Incremental  bool
+	PayloadBytes int64
+}
+
+// Verify recomputes the payload checksum.
+func (img *Image) Verify() error {
+	if img.Checksum != crc32.ChecksumIEEE(img.Data) {
+		return fmt.Errorf("vm: image %s is corrupted (checksum mismatch)", img.DomainName)
+	}
+	return nil
+}
+
+// SizeBytes returns the modelled on-disk image size. A full whole-VM
+// checkpoint writes every page of guest RAM — this is the overhead the
+// paper concedes to VM-level checkpointing (§2); incremental images
+// write only dirty pages.
+func (img *Image) SizeBytes() int64 {
+	if img.Incremental {
+		return img.PayloadBytes
+	}
+	return img.RAMBytes
+}
+
+// Domain is one virtual machine.
+type Domain struct {
+	name string
+	addr netsim.Addr
+	ram  int64
+	hv   *Hypervisor
+	os   *guest.OS
+	port *netsim.Port
+
+	state    DomainState
+	pausedAt sim.Time
+
+	// Dirty-page model (see dirty.go).
+	dirtyRate float64
+	cleanMark sim.Time
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Addr returns the domain's stable network address.
+func (d *Domain) Addr() netsim.Addr { return d.addr }
+
+// RAMBytes returns the domain's memory size.
+func (d *Domain) RAMBytes() int64 { return d.ram }
+
+// State returns the domain's lifecycle state.
+func (d *Domain) State() DomainState { return d.state }
+
+// OS returns the guest operating system (nil while booting).
+func (d *Domain) OS() *guest.OS { return d.os }
+
+// Node returns the hosting physical node.
+func (d *Domain) Node() *phys.Node { return d.hv.node }
+
+// Pause suspends the domain: the guest freezes and its NIC drops traffic.
+// This is the instant that matters for LSC skew.
+func (d *Domain) Pause() error {
+	if d.state != StateRunning {
+		return fmt.Errorf("vm: pause %s: domain is %v", d.name, d.state)
+	}
+	d.state = StatePaused
+	d.pausedAt = d.hv.kernel.Now()
+	d.os.Freeze()
+	d.port.SetUp(false)
+	return nil
+}
+
+// Unpause resumes a paused domain.
+func (d *Domain) Unpause() error {
+	if d.state != StatePaused {
+		return fmt.Errorf("vm: unpause %s: domain is %v", d.name, d.state)
+	}
+	d.state = StateRunning
+	d.port.SetUp(true)
+	d.os.Thaw()
+	return nil
+}
+
+// CaptureImage snapshots a paused domain into an image. Capture itself is
+// state copying; the time to dump the image to disk or the wire is
+// charged by the caller via SaveDuration (hypervisors overlap dumps
+// across nodes, so pacing belongs to the orchestration layer).
+func (d *Domain) CaptureImage() (*Image, error) {
+	if d.state != StatePaused {
+		return nil, fmt.Errorf("vm: capture %s: domain is %v, must be paused", d.name, d.state)
+	}
+	data, err := guest.EncodeImage(d.os.Snapshot())
+	if err != nil {
+		return nil, fmt.Errorf("vm: capture %s: %w", d.name, err)
+	}
+	return &Image{
+		DomainName: d.name,
+		Addr:       d.addr,
+		RAMBytes:   d.ram,
+		Data:       data,
+		CapturedAt: d.hv.kernel.Now(),
+		Checksum:   crc32.ChecksumIEEE(data),
+	}, nil
+}
+
+// Destroy tears the domain down, releasing its RAM and address.
+func (d *Domain) Destroy() {
+	if d.state == StateDestroyed {
+		return
+	}
+	if d.os != nil {
+		d.os.Freeze()
+	}
+	if d.port != nil {
+		d.port.Detach()
+	}
+	d.state = StateDestroyed
+	delete(d.hv.domains, d.name)
+}
+
+// Hypervisor is the per-node VMM.
+type Hypervisor struct {
+	kernel  *sim.Kernel
+	fabric  *netsim.Fabric
+	node    *phys.Node
+	cfg     XenConfig
+	tcpCfg  tcp.Config
+	domains map[string]*Domain
+}
+
+// NewHypervisor installs a hypervisor on a node. If the node crashes, all
+// hosted domains are destroyed.
+func NewHypervisor(k *sim.Kernel, fabric *netsim.Fabric, node *phys.Node, cfg XenConfig) *Hypervisor {
+	h := &Hypervisor{
+		kernel:  k,
+		fabric:  fabric,
+		node:    node,
+		cfg:     cfg,
+		tcpCfg:  tcp.DefaultConfig(),
+		domains: make(map[string]*Domain),
+	}
+	node.OnCrash(h.killAll)
+	return h
+}
+
+// SetTCPConfig overrides the transport configuration given to new guests.
+func (h *Hypervisor) SetTCPConfig(cfg tcp.Config) { h.tcpCfg = cfg }
+
+// Node returns the hosting node.
+func (h *Hypervisor) Node() *phys.Node { return h.node }
+
+// Config returns the hypervisor configuration.
+func (h *Hypervisor) Config() XenConfig { return h.cfg }
+
+func (h *Hypervisor) killAll() {
+	for _, d := range h.Domains() {
+		d.Destroy()
+	}
+}
+
+// Domains lists hosted domains sorted by name.
+func (h *Hypervisor) Domains() []*Domain {
+	names := make([]string, 0, len(h.domains))
+	for n := range h.domains {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Domain, len(names))
+	for i, n := range names {
+		out[i] = h.domains[n]
+	}
+	return out
+}
+
+// FreeRAM reports RAM available for new domains.
+func (h *Hypervisor) FreeRAM() int64 {
+	free := h.node.Spec().RAMBytes - h.cfg.Dom0Reserve
+	for _, d := range h.domains {
+		free -= d.ram
+	}
+	return free
+}
+
+func (h *Hypervisor) admit(name string, ram int64) error {
+	if !h.node.Up() {
+		return fmt.Errorf("vm: node %s is down", h.node.ID())
+	}
+	if _, dup := h.domains[name]; dup {
+		return fmt.Errorf("vm: duplicate domain %q on %s", name, h.node.ID())
+	}
+	if ram > h.FreeRAM() {
+		return fmt.Errorf("vm: %s: need %d bytes, %d free on %s", name, ram, h.FreeRAM(), h.node.ID())
+	}
+	return nil
+}
+
+// CreateDomain boots a fresh domain. onReady fires when the guest OS is
+// up (after BootTime); the returned domain is in Booting until then.
+func (h *Hypervisor) CreateDomain(name string, addr netsim.Addr, ram int64, wd guest.WatchdogConfig, onReady func(*Domain)) (*Domain, error) {
+	if err := h.admit(name, ram); err != nil {
+		return nil, err
+	}
+	d := &Domain{name: name, addr: addr, ram: ram, hv: h, state: StateBooting}
+	h.domains[name] = d
+	h.kernel.After(h.cfg.BootTime, func() {
+		if d.state != StateBooting || !h.node.Up() {
+			return
+		}
+		stack := tcp.NewStack(h.kernel, h.fabric, addr, h.tcpCfg)
+		d.port = h.fabric.Attach(addr, h.node.Cluster(), stack.Deliver)
+		d.port.ExtraLatency = h.cfg.NetExtraLatency
+		d.port.BandwidthFactor = h.cfg.NetBandwidthFactor
+		d.os = guest.New(h.kernel, stack, h.node.Clock().Read, h.cfg.CPUOverhead, wd)
+		d.state = StateRunning
+		if onReady != nil {
+			onReady(d)
+		}
+	})
+	return d, nil
+}
+
+// RestoreDomain materialises a saved image as a paused domain on this
+// node. The caller charges RestoreDuration first (image load), then
+// calls Unpause. The image's address must not be attached anywhere —
+// destroy the original domain before restoring.
+func (h *Hypervisor) RestoreDomain(img *Image, wallClockOverride func() sim.Time) (*Domain, error) {
+	if err := h.admit(img.DomainName, img.RAMBytes); err != nil {
+		return nil, err
+	}
+	if _, attached := h.fabric.Lookup(img.Addr); attached {
+		return nil, fmt.Errorf("vm: restore %s: address %s still attached", img.DomainName, img.Addr)
+	}
+	if err := img.Verify(); err != nil {
+		return nil, err
+	}
+	snap, err := guest.DecodeImage(img.Data)
+	if err != nil {
+		return nil, fmt.Errorf("vm: restore %s: %w", img.DomainName, err)
+	}
+	wall := wallClockOverride
+	if wall == nil {
+		wall = h.node.Clock().Read
+	}
+	os := guest.Restore(h.kernel, h.fabric, snap, wall, h.cfg.CPUOverhead)
+	d := &Domain{name: img.DomainName, addr: img.Addr, ram: img.RAMBytes, hv: h, os: os, state: StatePaused}
+	d.port = h.fabric.Attach(img.Addr, h.node.Cluster(), os.Stack().Deliver)
+	d.port.ExtraLatency = h.cfg.NetExtraLatency
+	d.port.BandwidthFactor = h.cfg.NetBandwidthFactor
+	d.port.SetUp(false)
+	h.domains[img.DomainName] = d
+	return d, nil
+}
+
+// SaveDuration models dumping ram bytes of guest memory to local disk.
+func (h *Hypervisor) SaveDuration(ram int64) sim.Time {
+	rate := h.cfg.SaveRate
+	if rate <= 0 {
+		rate = h.node.Spec().DiskBandwidth
+	}
+	return sim.Time(float64(ram) / rate * float64(sim.Second))
+}
+
+// RestoreDuration models loading ram bytes of guest memory from disk.
+func (h *Hypervisor) RestoreDuration(ram int64) sim.Time {
+	rate := h.cfg.RestoreRate
+	if rate <= 0 {
+		rate = h.node.Spec().DiskBandwidth
+	}
+	return sim.Time(float64(ram) / rate * float64(sim.Second))
+}
+
+// NativeOS boots a bare-metal OS directly on a node (no virtualisation):
+// the baseline for experiment E7. The OS dies with the node. The returned
+// port lets the caller detach the address when the job is torn down.
+func NativeOS(k *sim.Kernel, fabric *netsim.Fabric, node *phys.Node, addr netsim.Addr, tcpCfg tcp.Config, wd guest.WatchdogConfig) (*guest.OS, *netsim.Port) {
+	stack := tcp.NewStack(k, fabric, addr, tcpCfg)
+	port := fabric.Attach(addr, node.Cluster(), stack.Deliver)
+	os := guest.New(k, stack, node.Clock().Read, 1.0, wd)
+	node.OnCrash(func() {
+		os.Freeze()
+		port.SetUp(false)
+	})
+	return os, port
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"dvc/internal/sim"
+)
+
+// Trace I/O: job mixes serialise to a small JSON format so experiments
+// can be re-run against externally produced traces (and synthetic traces
+// can be archived next to their results).
+
+// traceJob is the wire form of JobSpec (durations in seconds).
+type traceJob struct {
+	ID         string  `json:"id"`
+	Width      int     `json:"width"`
+	WorkSec    float64 `json:"work_sec"`
+	ArrivalSec float64 `json:"arrival_sec"`
+	Stack      string  `json:"stack,omitempty"`
+}
+
+// WriteTrace serialises a trace as JSON.
+func WriteTrace(w io.Writer, trace []JobSpec) error {
+	out := make([]traceJob, len(trace))
+	for i, j := range trace {
+		out[i] = traceJob{
+			ID:         j.ID,
+			Width:      j.Width,
+			WorkSec:    j.Work.Seconds(),
+			ArrivalSec: j.Arrival.Seconds(),
+			Stack:      j.Stack,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadTrace parses a JSON trace, validating each job and returning the
+// jobs sorted by arrival.
+func ReadTrace(r io.Reader) ([]JobSpec, error) {
+	var in []traceJob
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("workload: parsing trace: %w", err)
+	}
+	out := make([]JobSpec, len(in))
+	for i, j := range in {
+		if j.ID == "" {
+			return nil, fmt.Errorf("workload: trace job %d has no id", i)
+		}
+		if j.Width <= 0 {
+			return nil, fmt.Errorf("workload: trace job %q has width %d", j.ID, j.Width)
+		}
+		if j.WorkSec <= 0 {
+			return nil, fmt.Errorf("workload: trace job %q has work %.3f s", j.ID, j.WorkSec)
+		}
+		if j.ArrivalSec < 0 {
+			return nil, fmt.Errorf("workload: trace job %q arrives at %.3f s", j.ID, j.ArrivalSec)
+		}
+		out[i] = JobSpec{
+			ID:      j.ID,
+			Width:   j.Width,
+			Work:    sim.Time(j.WorkSec * float64(sim.Second)),
+			Arrival: sim.Time(j.ArrivalSec * float64(sim.Second)),
+			Stack:   j.Stack,
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Arrival < out[b].Arrival })
+	return out, nil
+}

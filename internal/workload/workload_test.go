@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dvc/internal/sim"
+)
+
+func TestGenerateRespectsConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := MixConfig{
+		Count:       50,
+		ArrivalMean: 30 * sim.Second,
+		Widths:      []int{1, 2, 4},
+		WorkMin:     sim.Minute,
+		WorkMax:     5 * sim.Minute,
+	}
+	jobs := Generate(rng, cfg)
+	if len(jobs) != 50 {
+		t.Fatalf("count %d", len(jobs))
+	}
+	var prev sim.Time = -1
+	seen := map[int]bool{}
+	for i, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatalf("arrivals not monotone at %d", i)
+		}
+		prev = j.Arrival
+		if j.Work < cfg.WorkMin || j.Work >= cfg.WorkMax {
+			t.Fatalf("work %v out of range", j.Work)
+		}
+		seen[j.Width] = true
+		ok := false
+		for _, w := range cfg.Widths {
+			if j.Width == w {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("width %d not in choices", j.Width)
+		}
+		if j.ID == "" {
+			t.Fatal("empty job id")
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("width distribution degenerate")
+	}
+}
+
+func TestWidthWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := MixConfig{
+		Count:        2000,
+		ArrivalMean:  sim.Second,
+		Widths:       []int{1, 8},
+		WidthWeights: []float64{9, 1},
+		WorkMin:      sim.Minute,
+		WorkMax:      2 * sim.Minute,
+	}
+	jobs := Generate(rng, cfg)
+	narrow := 0
+	for _, j := range jobs {
+		if j.Width == 1 {
+			narrow++
+		}
+	}
+	if narrow < 1600 || narrow > 1980 {
+		t.Fatalf("weighted draw: %d/2000 narrow, want ~1800", narrow)
+	}
+}
+
+func TestDefaultMix(t *testing.T) {
+	cfg := DefaultMix(7)
+	if cfg.Count != 7 || len(cfg.Widths) == 0 || cfg.WorkMax <= cfg.WorkMin {
+		t.Fatalf("bad default mix %+v", cfg)
+	}
+}
+
+func TestBSPAppSliceCount(t *testing.T) {
+	a := NewBSPApp(95 * sim.Second)
+	if a.Slices != 9 {
+		t.Fatalf("95s of work at 10s slices = %d slices, want 9", a.Slices)
+	}
+	tiny := NewBSPApp(sim.Second)
+	if tiny.Slices != 1 {
+		t.Fatal("minimum one slice")
+	}
+}
+
+func TestBSPProgress(t *testing.T) {
+	a := NewBSPApp(50 * sim.Second)
+	a.I = 3
+	if a.Progress() != 30*sim.Second {
+		t.Fatalf("progress %v", a.Progress())
+	}
+}
+
+// Property: generation is deterministic for a seed.
+func TestPropertyGenerateDeterministic(t *testing.T) {
+	f := func(seed int64, countRaw uint8) bool {
+		count := int(countRaw%20) + 1
+		cfg := DefaultMix(count)
+		a := Generate(rand.New(rand.NewSource(seed)), cfg)
+		b := Generate(rand.New(rand.NewSource(seed)), cfg)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := Generate(rng, DefaultMix(10))
+	in[3].Stack = "rhel4-mpich"
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].ID != in[i].ID || out[i].Width != in[i].Width || out[i].Stack != in[i].Stack {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+		// Durations survive within JSON float precision (sub-microsecond).
+		dw := out[i].Work - in[i].Work
+		if dw < 0 {
+			dw = -dw
+		}
+		if dw > sim.Microsecond {
+			t.Fatalf("job %d work drifted %v", i, dw)
+		}
+	}
+}
+
+func TestReadTraceSortsByArrival(t *testing.T) {
+	in := strings.NewReader(`[
+		{"id":"b","width":1,"work_sec":60,"arrival_sec":50},
+		{"id":"a","width":1,"work_sec":60,"arrival_sec":10}
+	]`)
+	out, err := ReadTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ID != "a" || out[1].ID != "b" {
+		t.Fatalf("not sorted: %v %v", out[0].ID, out[1].ID)
+	}
+}
+
+func TestReadTraceRejectsBadJobs(t *testing.T) {
+	for name, body := range map[string]string{
+		"no-id":       `[{"width":1,"work_sec":1,"arrival_sec":0}]`,
+		"zero-width":  `[{"id":"x","width":0,"work_sec":1,"arrival_sec":0}]`,
+		"zero-work":   `[{"id":"x","width":1,"work_sec":0,"arrival_sec":0}]`,
+		"neg-arrival": `[{"id":"x","width":1,"work_sec":1,"arrival_sec":-5}]`,
+		"not-json":    `{{{`,
+	} {
+		if _, err := ReadTrace(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
