@@ -1,0 +1,122 @@
+// Command dvclint runs the determinism lint suite over the module.
+//
+// Usage:
+//
+//	go run ./cmd/dvclint ./...          # whole module (what CI runs)
+//	go run ./cmd/dvclint ./internal/sim # one package
+//	go run ./cmd/dvclint -run mapiter ./...
+//	go run ./cmd/dvclint -list
+//
+// dvclint is a multichecker in the golang.org/x/tools sense, built on the
+// repo's own dependency-free framework (internal/analysis). It enforces
+// the five determinism invariants documented in DESIGN.md: nowallclock,
+// noglobalrand, mapiter, noconcurrency, gobsafe. Findings can be waived
+// line-by-line with a justification:
+//
+//	//lint:allow <analyzer> <why this is safe>
+//
+// Exit status is 0 when the tree is clean, 1 when there are findings,
+// 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dvc/internal/analysis"
+	"dvc/internal/analysis/loader"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("dvclint", flag.ContinueOnError)
+	var (
+		runOnly = fs.String("run", "", "comma-separated analyzer names to run (default: all that apply per package)")
+		list    = fs.Bool("list", false, "list analyzers and exit")
+		verbose = fs.Bool("v", false, "report the packages checked")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: dvclint [flags] [packages]\n\nDeterminism lint for the DVC simulation core.\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), "\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var only map[string]bool
+	if *runOnly != "" {
+		only = make(map[string]bool)
+		for _, name := range strings.Split(*runOnly, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.ByName(name) == nil {
+				fmt.Fprintf(os.Stderr, "dvclint: unknown analyzer %q\n", name)
+				return 2
+			}
+			only[name] = true
+		}
+	}
+
+	root, err := loader.ModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvclint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(root, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dvclint: %v\n", err)
+		return 2
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if !analysis.InModule(pkg.PkgPath) {
+			continue
+		}
+		analyzers := analysis.AnalyzersFor(pkg.PkgPath)
+		if only != nil {
+			var filtered []*analysis.Analyzer
+			for _, a := range analyzers {
+				if only[a.Name] {
+					filtered = append(filtered, a)
+				}
+			}
+			analyzers = filtered
+		}
+		if *verbose {
+			names := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				names[i] = a.Name
+			}
+			fmt.Fprintf(os.Stderr, "dvclint: %s [%s]\n", pkg.PkgPath, strings.Join(names, " "))
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dvclint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "dvclint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"time"
 
 	"dvc/internal/metrics"
@@ -94,7 +95,15 @@ func summarise(trace []workload.JobSpec) {
 	tbl.Row("work (s)", work.Min(), work.Mean(), work.Max())
 	fmt.Print(tbl.String())
 	fmt.Printf("total demand: %.0f node-seconds\n", nodeSeconds)
-	for stack, n := range stacks {
+	// Sorted stack names: the summary must be byte-identical for the same
+	// trace, or diffing archived runs turns into noise (dvclint: mapiter).
+	names := make([]string, 0, len(stacks))
+	for stack := range stacks {
+		names = append(names, stack)
+	}
+	sort.Strings(names)
+	for _, stack := range names {
+		n := stacks[stack]
 		if stack == "" {
 			stack = "(any)"
 		}

@@ -1,0 +1,249 @@
+// Package analysis is dvclint's determinism lint suite for the DVC
+// reproduction.
+//
+// The simulation kernel (internal/sim) promises that a run with a fixed
+// seed is reproducible bit for bit. That promise is only as strong as the
+// conventions the rest of the tree follows: virtual time instead of the
+// host clock, explicit *rand.Rand plumbing instead of the global source,
+// sorted map iteration wherever order can leak into event scheduling or
+// output, no hidden concurrency inside the deterministic core, and
+// gob-safe checkpoint state. This package turns each convention into a
+// static analyzer:
+//
+//	nowallclock   - no time.Now/Sleep/After/... inside simulation packages
+//	noglobalrand  - no package-level math/rand (rand.Intn, rand.Seed, ...)
+//	mapiter       - no effectful iteration over maps in unspecified order
+//	noconcurrency - no goroutines/channels/sync in the deterministic core
+//	gobsafe       - no silently-dropped or unencodable checkpoint fields
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic, analysistest-style fixtures) but is
+// self-contained on the standard library so the module stays
+// dependency-free. Type information comes from go/types; package loading
+// (cmd/dvclint, internal/analysis/loader) resolves imports through the
+// build cache's export data via `go list -export`.
+//
+// # Suppression
+//
+// A finding can be waived with a justification comment on the flagged
+// line or the line immediately above it:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <why this is safe>
+//
+// Suppressions are meant to be rare and auditable; grep for lint:allow.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. It mirrors the x/tools analysis.Analyzer
+// shape so the checks could be ported onto the real driver verbatim if
+// the dependency ever becomes available.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check over a single package and reports findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// PkgPath is the package's import path (e.g. "dvc/internal/sim").
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	// TypesInfo has Types, Defs, Uses and Selections populated.
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Package bundles the inputs shared by every analyzer run over one
+// package. Loaders (internal/analysis/loader, analysistest) construct it.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// NewInfo returns a types.Info with all the maps analyzers rely on
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run executes the analyzers over the package, filters findings through
+// the //lint:allow directives found in the sources, deduplicates, and
+// returns the surviving diagnostics sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			PkgPath:   pkg.PkgPath,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	}
+	allows := collectAllows(pkg.Fset, pkg.Files)
+	out := diags[:0]
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if allows.allowed(d.Analyzer, pos) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s:%s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// allowSet records, per file and line, which analyzers have been waived.
+type allowSet map[string]map[int]map[string]bool // file -> line -> analyzer
+
+// AllowDirective is the comment prefix of a suppression.
+const AllowDirective = "lint:allow"
+
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := make(allowSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, AllowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					set[pos.Filename] = byLine
+				}
+				names := byLine[pos.Line]
+				if names == nil {
+					names = make(map[string]bool)
+					byLine[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// allowed reports whether a diagnostic from the named analyzer at pos is
+// suppressed: an allow directive counts when it sits on the same line
+// (trailing comment) or on the line immediately above the finding.
+func (s allowSet) allowed(analyzer string, pos token.Position) bool {
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if names := byLine[line]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared helpers used by several analyzers ---
+
+// pkgFunc reports whether expr is a direct reference to a package-level
+// function or other object of the package with the given import path
+// (e.g. time.Now, rand.Intn), returning its name.
+func pkgObject(info *types.Info, expr ast.Expr, pkgPath string) (string, bool) {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin being called ("append",
+// "len", ...) or "" if the callee is not a builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return ""
+	}
+	return id.Name
+}

@@ -1,0 +1,258 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its diagnostics against `// want` expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the standard
+// library only.
+//
+// Expectation syntax (a trailing comment on the flagged line):
+//
+//	x := time.Now() // want `wall clock`
+//	a, b := f(), g() // want `first` `second`
+//
+// Each backquoted or double-quoted string is a regexp that must match one
+// diagnostic reported on that line, in column order; lines without a
+// want comment must produce no diagnostics. //lint:allow suppression is
+// applied before matching, so fixtures can (and do) test the escape
+// hatch by expecting nothing on an allowed line.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dvc/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the test's working
+// directory), applies the analyzer, and reports mismatches against the
+// // want comments through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: stdlibImporter(t, fset, files)}
+	tpkg, err := conf.Check(pkg, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Run(&analysis.Package{
+		PkgPath: pkg,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	check(t, fset, files, diags)
+}
+
+type key struct {
+	file string
+	line int
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+
+	// Group diagnostics by (file, line), keeping column order.
+	got := make(map[key][]analysis.Diagnostic)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	// Collect // want expectations.
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") && text != "want" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range parseWants(t, pos, strings.TrimPrefix(text, "want")) {
+					want[k] = append(want[k], pat)
+				}
+			}
+		}
+	}
+
+	// Every line with expectations must match; every diagnostic must be
+	// expected.
+	var lines []key
+	seen := make(map[key]bool)
+	for k := range want {
+		if !seen[k] {
+			seen[k] = true
+			lines = append(lines, k)
+		}
+	}
+	for k := range got {
+		if !seen[k] {
+			seen[k] = true
+			lines = append(lines, k)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].file != lines[j].file {
+			return lines[i].file < lines[j].file
+		}
+		return lines[i].line < lines[j].line
+	})
+
+	for _, k := range lines {
+		ds, ws := got[k], want[k]
+		if len(ds) != len(ws) {
+			var msgs []string
+			for _, d := range ds {
+				msgs = append(msgs, fmt.Sprintf("%s: %s", d.Analyzer, d.Message))
+			}
+			t.Errorf("%s:%d: got %d diagnostic(s), want %d\n  got: %s",
+				k.file, k.line, len(ds), len(ws), strings.Join(msgs, "\n       "))
+			continue
+		}
+		for i, w := range ws {
+			if !w.MatchString(ds[i].Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want %q",
+					k.file, k.line, ds[i].Message, w)
+			}
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from the text after "want".
+func parseWants(t *testing.T, pos token.Position, text string) []*regexp.Regexp {
+	t.Helper()
+	var pats []*regexp.Regexp
+	for {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			break
+		}
+		var raw string
+		switch text[0] {
+		case '`':
+			end := strings.IndexByte(text[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated backquote in want comment", pos)
+			}
+			raw = text[1 : 1+end]
+			text = text[2+end:]
+		case '"':
+			var err error
+			var rest int
+			for rest = 1; rest < len(text); rest++ {
+				if text[rest] == '"' && text[rest-1] != '\\' {
+					break
+				}
+			}
+			if rest == len(text) {
+				t.Fatalf("%s: unterminated quote in want comment", pos)
+			}
+			raw, err = strconv.Unquote(text[:rest+1])
+			if err != nil {
+				t.Fatalf("%s: bad want string: %v", pos, err)
+			}
+			text = text[rest+1:]
+		default:
+			t.Fatalf("%s: want expectations must be quoted or backquoted regexps, got %q", pos, text)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+		}
+		pats = append(pats, re)
+	}
+	return pats
+}
+
+// stdlibImporter builds an importer that serves the standard-library
+// imports of the fixture files from build-cache export data, produced by
+// one `go list -deps -export` invocation.
+func stdlibImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+	t.Helper()
+	pathSet := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				pathSet[p] = true
+			}
+		}
+	}
+	var paths []string
+	for p := range pathSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	exports := make(map[string]string)
+	if len(paths) > 0 {
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export", "--"}, paths...)
+		cmd := exec.Command("go", args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("analysistest: go list: %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(&stdout)
+		for dec.More() {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err != nil {
+				t.Fatalf("analysistest: go list decode: %v", err)
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: fixture imports %q, which was not listed", path)
+		}
+		return os.Open(file)
+	})
+}

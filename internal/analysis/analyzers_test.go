@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"dvc/internal/analysis"
+	"dvc/internal/analysis/analysistest"
+)
+
+// Each analyzer is exercised against a fixture package with both positive
+// (// want) and negative cases, including the //lint:allow escape hatch.
+
+func TestNoWallClock(t *testing.T)   { analysistest.Run(t, analysis.NoWallClock, "nowallclock") }
+func TestNoGlobalRand(t *testing.T)  { analysistest.Run(t, analysis.NoGlobalRand, "noglobalrand") }
+func TestMapIter(t *testing.T)       { analysistest.Run(t, analysis.MapIter, "mapiter") }
+func TestNoConcurrency(t *testing.T) { analysistest.Run(t, analysis.NoConcurrency, "noconcurrency") }
+func TestGobSafe(t *testing.T)       { analysistest.Run(t, analysis.GobSafe, "gobsafe") }
+
+func TestByName(t *testing.T) {
+	for _, a := range analysis.All() {
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if analysis.ByName("nope") != nil {
+		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestScoping(t *testing.T) {
+	if !analysis.IsSimPackage("dvc/internal/sim") {
+		t.Error("internal/sim must be a sim package")
+	}
+	if analysis.IsSimPackage("dvc/cmd/dvcsim") {
+		t.Error("cmd/ must not be a sim package (wall-clock allowlist)")
+	}
+	if got := len(analysis.AnalyzersFor("dvc/internal/core")); got != 5 {
+		t.Errorf("sim packages get all 5 analyzers, got %d", got)
+	}
+	if got := len(analysis.AnalyzersFor("dvc/cmd/dvctrace")); got != 3 {
+		t.Errorf("cmd packages get 3 analyzers, got %d", got)
+	}
+	if !analysis.InModule("dvc") || !analysis.InModule("dvc/internal/sim") || analysis.InModule("fmt") {
+		t.Error("InModule misclassifies")
+	}
+}

@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GobSafe vets the types that flow into encoding/gob — the serialization
+// layer under every LSC checkpoint image (internal/ckpt, internal/guest,
+// internal/vm). gob has two failure modes that corrupt save/restore
+// without any error at encode time:
+//
+//  1. Unexported struct fields are silently dropped. A checkpoint that
+//     loses a field restores a VM whose guest state diverges from the
+//     saved one — the exact bug class LSC exists to prevent.
+//  2. func and chan fields cannot be encoded at all; depending on where
+//     they sit, the failure is either a runtime error mid-checkpoint or a
+//     silently nil field after restore.
+//
+// The analyzer inspects the static type of every argument to
+// gob.Register, gob.RegisterName, Encoder.Encode and Decoder.Decode and
+// walks its struct graph. Types that implement gob.GobEncoder or
+// encoding.BinaryMarshaler opt out: they have taken manual control of
+// their wire format.
+var GobSafe = &Analyzer{
+	Name: "gobsafe",
+	Doc: "flag unexported, func- or chan-typed fields in types passed to " +
+		"encoding/gob (checkpoint state must round-trip losslessly)",
+	Run: runGobSafe,
+}
+
+func runGobSafe(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || isConversion(info, call) {
+				return true
+			}
+			arg, ok := gobPayload(info, call)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(arg)
+			if t == nil {
+				return true
+			}
+			checkGobType(pass, call.Pos(), t)
+			return true
+		})
+	}
+	return nil
+}
+
+// gobPayload returns the argument expression whose type will be encoded,
+// if call is one of the encoding/gob entry points.
+func gobPayload(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/gob" {
+		return nil, false
+	}
+	switch obj.Name() {
+	case "Register":
+		if len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+	case "RegisterName":
+		if len(call.Args) == 2 {
+			return call.Args[1], true
+		}
+	case "Encode", "Decode", "EncodeValue", "DecodeValue":
+		// Methods on *gob.Encoder / *gob.Decoder.
+		if recv := obj.Type().(*types.Signature).Recv(); recv != nil && len(call.Args) == 1 {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// checkGobType walks the struct graph reachable from t and reports fields
+// gob would drop or reject.
+func checkGobType(pass *Pass, pos token.Pos, t types.Type) {
+	visited := make(map[types.Type]bool)
+	var walk func(t types.Type, path string)
+	walk = func(t types.Type, path string) {
+		if visited[t] {
+			return
+		}
+		visited[t] = true
+		t = deref(t)
+		if hasCustomWireFormat(t) {
+			return
+		}
+		named, _ := t.(*types.Named)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			// Non-struct payloads (slices, maps, basics, interfaces):
+			// descend through containers looking for func/chan elements.
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				walk(u.Elem(), path)
+			case *types.Array:
+				walk(u.Elem(), path)
+			case *types.Map:
+				walk(u.Key(), path)
+				walk(u.Elem(), path)
+			case *types.Signature:
+				pass.Reportf(pos, "gob cannot encode func value%s", at(path))
+			case *types.Chan:
+				pass.Reportf(pos, "gob cannot encode chan value%s", at(path))
+			}
+			return
+		}
+		typeName := "struct"
+		if named != nil {
+			typeName = named.Obj().Name()
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			fieldPath := typeName + "." + f.Name()
+			if !f.Exported() && !f.Embedded() {
+				pass.Reportf(pos,
+					"gob silently drops unexported field %s: checkpoint state would not survive save/restore (export it, or implement GobEncoder/GobDecoder)",
+					fieldPath)
+				continue
+			}
+			if bad, kind := containsBadKind(f.Type(), make(map[types.Type]bool)); bad {
+				pass.Reportf(pos,
+					"field %s contains a %s, which gob cannot encode: checkpointing this type will fail or restore nil",
+					fieldPath, kind)
+				continue
+			}
+			// Recurse into exported struct-typed fields so nested
+			// checkpoint state is held to the same rules.
+			walk(f.Type(), fieldPath)
+		}
+	}
+	walk(t, "")
+}
+
+func at(path string) string {
+	if path == "" {
+		return ""
+	}
+	return " at " + path
+}
+
+func deref(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// hasCustomWireFormat reports whether t (or *t) provides its own gob or
+// binary encoding, making field-level inspection moot.
+func hasCustomWireFormat(t types.Type) bool {
+	for _, name := range []string{"GobEncode", "MarshalBinary"} {
+		for _, recv := range []types.Type{t, types.NewPointer(t)} {
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, name)
+			if fn, ok := obj.(*types.Func); ok {
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containsBadKind reports whether t transitively contains a func or chan
+// (through pointers, slices, arrays, maps and struct fields), returning
+// the offending kind.
+func containsBadKind(t types.Type, visited map[types.Type]bool) (bool, string) {
+	if visited[t] {
+		return false, ""
+	}
+	visited[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Signature:
+		return true, "func"
+	case *types.Chan:
+		return true, "chan"
+	case *types.Pointer:
+		return containsBadKind(u.Elem(), visited)
+	case *types.Slice:
+		return containsBadKind(u.Elem(), visited)
+	case *types.Array:
+		return containsBadKind(u.Elem(), visited)
+	case *types.Map:
+		if bad, kind := containsBadKind(u.Key(), visited); bad {
+			return true, kind
+		}
+		return containsBadKind(u.Elem(), visited)
+	case *types.Struct:
+		if hasCustomWireFormat(t) {
+			return false, ""
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() && !f.Embedded() {
+				continue // reported separately by the unexported check
+			}
+			if bad, kind := containsBadKind(f.Type(), visited); bad {
+				return true, fmt.Sprintf("%s (via %s)", kind, f.Name())
+			}
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,428 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map when the loop body has effects whose
+// outcome depends on iteration order: calling functions or methods (which
+// may schedule kernel events, emit output, or mutate shared state),
+// appending to a slice that is never sorted afterwards, or assigning to
+// state that outlives the loop. Go randomizes map iteration order per
+// run, so any such loop is a direct determinism leak.
+//
+// The analyzer recognizes the repo's established safe idioms:
+//
+//   - Collect-and-sort (phys.Site.Nodes, vm.Hypervisor.Domains): appends
+//     into a slice that is later passed to sort.Strings / sort.Ints /
+//     sort.Float64s / sort.Slice / sort.SliceStable / sort.Sort /
+//     slices.Sort / slices.SortFunc / slices.SortStableFunc within the
+//     same function.
+//   - Distinct-key writes: m2[k] = ... indexed by the range key touches a
+//     different element every iteration, so the final contents are a set,
+//     independent of order.
+//   - Same-constant writes: found = true (set-membership tests, union
+//     builds) — every write stores the identical constant, so the last
+//     writer does not matter.
+//   - Order-independent reductions: `:=` definitions, loop-local
+//     mutation, delete, x++/x--, and commutative compound assignment
+//     (+=, -=, *=, |=, &=, ^=, &^=) on integer or boolean accumulators.
+//     Floating-point accumulation is NOT exempt: float addition is
+//     non-associative, so summing in a random order changes low bits and
+//     breaks bit-for-bit replay.
+//   - Calls to pure string/number helpers (strings.*, strconv.*, math.*,
+//     unicode.*, fmt.Sprintf/Sprint/Errorf) that cannot have ordered
+//     effects.
+//
+// Everything else — kernel scheduling, I/O, arbitrary method calls —
+// must either iterate a sorted snapshot of the keys or carry a
+// //lint:allow mapiter justification.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flag effectful iteration over maps in unspecified order; " +
+		"collect and sort keys first (see phys.Site.Nodes)",
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Walk with an explicit stack of enclosing function bodies so the
+		// sorted-later check can scan the rest of the function.
+		var funcStack []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcStack = append(funcStack, n)
+				ast.Inspect(funcBody(n), visit)
+				funcStack = funcStack[:len(funcStack)-1]
+				return false
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok && len(funcStack) > 0 {
+						checkMapRange(pass, n, funcBody(funcStack[len(funcStack)-1]))
+					}
+				}
+			}
+			return true
+		}
+		for _, decl := range f.Decls {
+			ast.Inspect(decl, visit)
+		}
+	}
+	return nil
+}
+
+func funcBody(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			return n.Body
+		}
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// plainWrite is one `=` assignment to an outer object, buffered so the
+// same-constant exemption can consider all writes to the object at once.
+type plainWrite struct {
+	stmt  *ast.AssignStmt
+	obj   types.Object
+	value constant.Value // nil if not constant
+}
+
+// checkMapRange inspects one range-over-map statement.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node) {
+	info := pass.TypesInfo
+
+	// isLoopLocal reports whether the object is declared within the range
+	// statement (the key/value variables or anything defined in the body).
+	isLoopLocal := func(obj types.Object) bool {
+		return obj != nil && obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+	}
+	keyObj := rangeKeyObject(info, rs)
+
+	var plains []plainWrite
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, enclosing, isLoopLocal, keyObj, &plains)
+			// Still visit RHS expressions for calls; LHS handled above.
+			for _, rhs := range n.Rhs {
+				ast.Inspect(rhs, visit)
+			}
+			return false
+		case *ast.IncDecStmt:
+			// x++ / x-- add a fixed delta per iteration; the result is
+			// independent of order for any numeric type.
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside map iteration: delivery order follows map order")
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "goroutine launched inside map iteration: spawn order follows map order")
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, n)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(rs.Body, visit)
+
+	// Same-constant exemption: if every plain write to an object stores
+	// the identical constant, the last writer is irrelevant.
+	byObj := make(map[types.Object][]plainWrite)
+	for _, w := range plains {
+		byObj[w.obj] = append(byObj[w.obj], w)
+	}
+	for _, w := range plains {
+		ws := byObj[w.obj]
+		if allSameConstant(ws) {
+			// Report once per object? No: suppress entirely.
+			continue
+		}
+		pass.Reportf(w.stmt.Pos(),
+			"assignment to %q inside map iteration: last-writer depends on the randomized map order",
+			w.obj.Name())
+	}
+}
+
+func allSameConstant(ws []plainWrite) bool {
+	for _, w := range ws {
+		if w.value == nil {
+			return false
+		}
+	}
+	for _, w := range ws[1:] {
+		if constant.Compare(ws[0].value, token.NEQ, w.value) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeKeyObject returns the object bound to the range key variable, or
+// nil when the key is blank or absent.
+func rangeKeyObject(info *types.Info, rs *ast.RangeStmt) types.Object {
+	id, ok := rs.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// commutativeAssignOps are compound assignment operators whose repeated
+// application is order-independent (over integers and booleans).
+var commutativeAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN:     true, // +=
+	token.SUB_ASSIGN:     true, // -=
+	token.MUL_ASSIGN:     true, // *=
+	token.OR_ASSIGN:      true, // |=
+	token.AND_ASSIGN:     true, // &=
+	token.XOR_ASSIGN:     true, // ^=
+	token.AND_NOT_ASSIGN: true, // &^=
+}
+
+func checkAssign(pass *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, enclosing ast.Node,
+	isLoopLocal func(types.Object) bool, keyObj types.Object, plains *[]plainWrite) {
+	info := pass.TypesInfo
+	if as.Tok == token.DEFINE {
+		return // declares loop-local state
+	}
+	for i, lhs := range as.Lhs {
+		root := lvalueRoot(lhs)
+		obj := rootObject(info, root)
+		if obj == nil || isLoopLocal(obj) {
+			continue
+		}
+		// Distinct-key writes: indexing by the range key touches a
+		// different element each iteration, so order cannot matter.
+		if indexedByKey(info, lhs, keyObj) {
+			continue
+		}
+		// s = append(s, ...) into an outer slice: fine iff the slice is
+		// sorted later in the same function (the collect-and-sort idiom).
+		if i < len(as.Rhs) {
+			if call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr); ok && builtinName(info, call) == "append" {
+				if sortedLater(pass, obj, rs.End(), enclosing) {
+					continue
+				}
+				pass.Reportf(as.Pos(),
+					"append to %q inside map iteration without sorting it afterwards: element order follows the randomized map order (collect keys and sort, as in phys.Site.Nodes)",
+					obj.Name())
+				continue
+			}
+		}
+		if commutativeAssignOps[as.Tok] {
+			if t := info.TypeOf(lhs); t != nil && orderIndependentType(t) {
+				continue // integer/bool reduction, order-independent
+			}
+			pass.Reportf(as.Pos(),
+				"compound assignment to %q of non-integer type inside map iteration: accumulation order follows the randomized map order",
+				obj.Name())
+			continue
+		}
+		if as.Tok == token.ASSIGN {
+			var val constant.Value
+			if i < len(as.Rhs) {
+				if tv, ok := info.Types[as.Rhs[i]]; ok {
+					val = tv.Value
+				}
+			}
+			*plains = append(*plains, plainWrite{stmt: as, obj: obj, value: val})
+			continue
+		}
+		pass.Reportf(as.Pos(),
+			"assignment to %q inside map iteration: last-writer depends on the randomized map order",
+			obj.Name())
+	}
+}
+
+// indexedByKey reports whether the lvalue is (possibly through field
+// selectors) an index expression whose index is exactly the range key
+// variable.
+func indexedByKey(info *types.Info, lhs ast.Expr, keyObj types.Object) bool {
+	if keyObj == nil {
+		return false
+	}
+	for {
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr:
+			if id, ok := ast.Unparen(x.Index).(*ast.Ident); ok {
+				if info.Uses[id] == keyObj {
+					return true
+				}
+			}
+			lhs = x.X
+		case *ast.SelectorExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// safeBuiltins are builtin calls that cannot make a map-ordered loop
+// nondeterministic on their own. delete is order-independent because the
+// final map contents are a set; append is handled at the assignment.
+var safeBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"delete": true, "append": true, "make": true, "new": true,
+	"real": true, "imag": true, "complex": true,
+}
+
+// purePackages contain only side-effect-free package-level functions
+// (string/number manipulation); calling them in map order is harmless.
+var purePackages = map[string]bool{
+	"strings": true, "strconv": true, "math": true, "math/bits": true,
+	"unicode": true, "unicode/utf8": true,
+}
+
+// pureFmtFuncs are the fmt functions that only build values.
+var pureFmtFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if isConversion(info, call) {
+		return
+	}
+	if b := builtinName(info, call); b != "" {
+		if safeBuiltins[b] {
+			return
+		}
+		pass.Reportf(call.Pos(), "call to %s inside map iteration: effect order follows the randomized map order", b)
+		return
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+			if purePackages[fn.Pkg().Path()] {
+				return
+			}
+			if fn.Pkg().Path() == "fmt" && pureFmtFuncs[fn.Name()] {
+				return
+			}
+		}
+	}
+	// We cannot see inside an arbitrary function or method, so every call
+	// is treated as effectful (it may schedule kernel events, print, or
+	// mutate shared state). Sorted-iteration helpers that *return* the
+	// ordered view (e.g. ranging over h.Domains()) do not range over a
+	// map and are never flagged.
+	pass.Reportf(call.Pos(),
+		"call to %s inside map iteration: if it schedules events, emits output, or mutates shared state, the effect order follows the randomized map order (iterate sorted keys instead)",
+		calleeName(info, call))
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function value"
+}
+
+// lvalueRoot strips selectors, indexes, derefs and parens down to the
+// base expression being written through.
+func lvalueRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			return obj
+		}
+		return info.Defs[id]
+	}
+	return nil
+}
+
+// orderIndependentType reports whether commutative compound assignment on
+// values of t is exactly order-independent: integers and booleans yes,
+// floats/complex/strings no (non-associative or concatenation).
+func orderIndependentType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// sortEstablishers lists package functions that establish a deterministic
+// order over their first argument. A slice, not a map: dvclint lints
+// itself, and iterating a map here would be its own (harmless, but
+// embarrassing) finding.
+var sortEstablishers = []struct {
+	path  string
+	names map[string]bool
+}{
+	{"sort", map[string]bool{
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	}},
+	{"slices", map[string]bool{
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	}},
+}
+
+// sortedLater reports whether obj is passed to a recognized sort function
+// somewhere after pos within the enclosing function.
+func sortedLater(pass *Pass, obj types.Object, pos token.Pos, enclosing ast.Node) bool {
+	info := pass.TypesInfo
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, se := range sortEstablishers {
+			if name, ok := pkgObject(info, sel, se.path); ok && se.names[name] {
+				if argObj := rootObject(info, ast.Unparen(call.Args[0])); argObj == obj {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

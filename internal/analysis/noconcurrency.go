@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoConcurrency forbids goroutines, channel operations, select, and the
+// sync package inside the deterministic core. The discrete-event kernel
+// is single-threaded by design: event order is (time, schedule seq), and
+// that total order is the entire determinism story. A goroutine or a
+// channel handoff inside the core reintroduces the host scheduler as a
+// hidden source of ordering, which no amount of seeding can make
+// reproducible. sync/atomic is likewise banned here (same reasoning);
+// CLIs and tests are exempt via the driver's package scoping.
+var NoConcurrency = &Analyzer{
+	Name: "noconcurrency",
+	Doc: "forbid go statements, channel operations, select, and sync " +
+		"primitives inside the deterministic simulation core",
+	Run: runNoConcurrency,
+}
+
+func runNoConcurrency(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement in deterministic core: the host scheduler would decide event order")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send in deterministic core: use kernel events (sim.Kernel.After) for handoffs")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive in deterministic core: use kernel events (sim.Kernel.After) for handoffs")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select in deterministic core: case choice is scheduler-dependent")
+			case *ast.RangeStmt:
+				if t := info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(), "range over channel in deterministic core")
+					}
+				}
+			case *ast.CallExpr:
+				if builtinName(info, n) == "close" {
+					pass.Reportf(n.Pos(), "close of channel in deterministic core")
+				}
+				if builtinName(info, n) == "make" && len(n.Args) > 0 {
+					if t := info.TypeOf(n.Args[0]); t != nil {
+						if _, ok := t.Underlying().(*types.Chan); ok {
+							pass.Reportf(n.Pos(), "make(chan) in deterministic core")
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj := info.Uses[n.Sel]; obj != nil && obj.Pkg() != nil {
+					switch obj.Pkg().Path() {
+					case "sync", "sync/atomic":
+						pass.Reportf(n.Pos(), "use of %s.%s in deterministic core: the simulation is single-threaded by design",
+							obj.Pkg().Name(), obj.Name())
+					}
+				}
+			case *ast.ChanType:
+				pass.Reportf(n.Pos(), "channel type in deterministic core")
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoGlobalRand forbids the package-level math/rand functions (rand.Intn,
+// rand.Float64, rand.Seed, ...). Those draw from a process-global source
+// whose state is shared across the whole binary: any extra draw anywhere
+// perturbs every later draw, so two runs with the same simulation seed
+// stop being comparable. Randomness must flow through an explicit
+// *rand.Rand threaded from the kernel (sim.Kernel.Rand), the way
+// internal/sim/rand.go models. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf) stay allowed because they are how that explicit source is
+// created.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc: "forbid package-level math/rand functions; thread an explicit " +
+		"*rand.Rand (sim.Kernel.Rand) instead",
+	Run: runNoGlobalRand,
+}
+
+// allowedRandFuncs are math/rand package-level objects that do not touch
+// the global source.
+var allowedRandFuncs = map[string]bool{
+	// Constructors for explicit sources.
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 source constructors, should the module ever migrate.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNoGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			for _, path := range []string{"math/rand", "math/rand/v2"} {
+				name, ok := pkgObject(pass.TypesInfo, sel, path)
+				if !ok {
+					continue
+				}
+				if allowedRandFuncs[name] {
+					return true
+				}
+				// Only functions draw from the global source; types
+				// (rand.Rand, rand.Source, rand.Zipf) are fine.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !isFunc {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses the process-global math/rand source; draw from an explicit *rand.Rand (sim.Kernel.Rand) instead",
+					name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoWallClock forbids reading or waiting on the host's wall clock inside
+// simulation packages. Simulated components live in virtual time
+// (sim.Time); consulting time.Now or sleeping on the host clock makes a
+// run depend on scheduler and machine speed, destroying bit-for-bit
+// reproducibility. The driver applies this analyzer only to the
+// deterministic simulation packages; cmd/ CLIs and _test.go files (which
+// legitimately report wall-clock durations to humans) are exempt.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid wall clock access (time.Now, time.Sleep, time.After, ...) " +
+		"in simulation packages; use the sim.Kernel's virtual time instead",
+	Run: runNoWallClock,
+}
+
+// forbiddenTimeFuncs are the package-level time functions that read or
+// wait on the host clock. Pure conversions and formatting helpers
+// (time.Duration, time.Unix, d.String, ...) remain allowed.
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "reads the host clock",
+	"Since":     "reads the host clock",
+	"Until":     "reads the host clock",
+	"Sleep":     "blocks on the host clock",
+	"After":     "waits on the host clock",
+	"AfterFunc": "schedules on the host clock",
+	"Tick":      "ticks on the host clock",
+	"NewTicker": "ticks on the host clock",
+	"NewTimer":  "waits on the host clock",
+}
+
+func runNoWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := pkgObject(pass.TypesInfo, sel, "time")
+			if !ok {
+				return true
+			}
+			if why, bad := forbiddenTimeFuncs[name]; bad {
+				pass.Reportf(sel.Pos(),
+					"time.%s %s: simulation code must use the kernel's virtual wall clock (sim.Kernel.Now/After)",
+					name, why)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import "strings"
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallClock, NoGlobalRand, MapIter, NoConcurrency, GobSafe}
+}
+
+// ByName resolves an analyzer by its Name, for cmd/dvclint's -run flag.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// simPackages are the deterministic simulation packages: everything that
+// executes inside (or feeds state into) the discrete-event kernel. The
+// strict analyzers — nowallclock and noconcurrency — apply only here;
+// cmd/ CLIs and examples/ may legitimately read the host clock to report
+// progress to a human.
+var simPackages = map[string]bool{
+	"dvc":                   true, // library facade (dvc.go, rm.go)
+	"dvc/internal/sim":      true,
+	"dvc/internal/core":     true,
+	"dvc/internal/vm":       true,
+	"dvc/internal/netsim":   true,
+	"dvc/internal/tcp":      true,
+	"dvc/internal/guest":    true,
+	"dvc/internal/mpi":      true,
+	"dvc/internal/hpcc":     true,
+	"dvc/internal/rm":       true,
+	"dvc/internal/workload": true,
+	"dvc/internal/ckpt":     true,
+	"dvc/internal/clock":    true,
+	"dvc/internal/phys":     true,
+	"dvc/internal/storage":  true,
+	// Layers above the kernel that still must replay deterministically.
+	"dvc/internal/script":      true,
+	"dvc/internal/metrics":     true,
+	"dvc/internal/experiments": true,
+}
+
+// IsSimPackage reports whether the import path belongs to the
+// deterministic simulation core.
+func IsSimPackage(pkgPath string) bool { return simPackages[pkgPath] }
+
+// AnalyzersFor returns the analyzers that apply to a package.
+//
+//   - noglobalrand, mapiter, gobsafe run over every package in the module:
+//     a CLI that draws from the global rand source or prints in map order
+//     still breaks reproducible trace generation.
+//   - nowallclock and noconcurrency are restricted to the simulation
+//     packages; cmd/ binaries and examples/ are the sanctioned home for
+//     wall-clock progress reporting and (hypothetical) concurrency.
+//
+// Test files never reach the analyzers at all: the loader only feeds
+// non-test GoFiles, which is the _test.go wall-clock allowlist from the
+// determinism spec.
+func AnalyzersFor(pkgPath string) []*Analyzer {
+	out := []*Analyzer{NoGlobalRand, MapIter, GobSafe}
+	if IsSimPackage(pkgPath) {
+		out = append(out, NoWallClock, NoConcurrency)
+	}
+	return out
+}
+
+// InModule reports whether pkgPath is part of this module (the lint
+// target), as opposed to a dependency.
+func InModule(pkgPath string) bool {
+	return pkgPath == "dvc" || strings.HasPrefix(pkgPath, "dvc/")
+}

@@ -1,0 +1,73 @@
+// Fixture for the gobsafe analyzer: checkpoint payload types must not
+// have unexported fields (gob drops them silently) or func/chan fields
+// (gob cannot encode them).
+package gobsafe
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Snapshot mirrors a guest checkpoint image: all exported, gob-safe.
+type Snapshot struct {
+	PC    int
+	Rows  map[int][]float64
+	Notes []string
+}
+
+// Hidden loses state on every save/restore cycle.
+type Hidden struct {
+	PC      int
+	cursor  int // silently dropped
+	pending []string
+}
+
+// Unencodable cannot round-trip at all.
+type Unencodable struct {
+	Name   string
+	Resume func() error
+	Wake   chan int
+}
+
+// Nested hides the problem one level down.
+type Nested struct {
+	Meta  string
+	Inner struct {
+		Callback func()
+	}
+}
+
+// SelfMarshal controls its own wire format, so field rules do not apply.
+type SelfMarshal struct {
+	secret int
+}
+
+func (s *SelfMarshal) GobEncode() ([]byte, error) { return []byte{byte(s.secret)}, nil }
+func (s *SelfMarshal) GobDecode(b []byte) error   { s.secret = int(b[0]); return nil }
+
+func register() {
+	gob.Register(&Snapshot{})
+	gob.Register(&Hidden{})      // want `gob silently drops unexported field Hidden\.cursor` `gob silently drops unexported field Hidden\.pending`
+	gob.Register(&Unencodable{}) // want `field Unencodable\.Resume contains a func` `field Unencodable\.Wake contains a chan`
+	gob.Register(&Nested{})      // want `field Nested\.Inner contains a func \(via Callback\)`
+	gob.Register(&SelfMarshal{})
+	gob.RegisterName("hidden", Hidden{}) // want `gob silently drops unexported field Hidden\.cursor` `gob silently drops unexported field Hidden\.pending`
+}
+
+func encode(buf *bytes.Buffer, snap *Snapshot, h *Hidden) error {
+	enc := gob.NewEncoder(buf)
+	if err := enc.Encode(snap); err != nil {
+		return err
+	}
+	return enc.Encode(h) // want `gob silently drops unexported field Hidden\.cursor` `gob silently drops unexported field Hidden\.pending`
+}
+
+// Encoding through an interface is opaque to static analysis; the
+// analyzer must stay quiet rather than guess.
+func encodeAny(buf *bytes.Buffer, v any) error {
+	return gob.NewEncoder(buf).Encode(v)
+}
+
+func waived(buf *bytes.Buffer, h *Hidden) error {
+	return gob.NewEncoder(buf).Encode(h) //lint:allow gobsafe fixture proves the escape hatch works
+}

@@ -1,0 +1,172 @@
+// Fixture for the mapiter analyzer: effectful iteration over maps in
+// randomized order is flagged; the collect-and-sort idiom and
+// order-independent reductions are not.
+package mapiter
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type kernel struct{ events []string }
+
+func (k *kernel) Schedule(name string) { k.events = append(k.events, name) }
+
+type domain struct {
+	name string
+	ram  int64
+}
+
+// badSchedule schedules kernel events in map order: the classic leak.
+func badSchedule(k *kernel, domains map[string]*domain) {
+	for name := range domains {
+		k.Schedule(name) // want `call to k\.Schedule inside map iteration`
+	}
+}
+
+// badPrint emits output in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `call to fmt\.Println inside map iteration`
+	}
+}
+
+// badAppend collects values but never sorts them.
+func badAppend(m map[string]*domain) []*domain {
+	var out []*domain
+	for _, d := range m {
+		out = append(out, d) // want `append to "out" inside map iteration without sorting`
+	}
+	return out
+}
+
+// badLastWriter: whichever key iterates last wins.
+func badLastWriter(m map[string]int) int {
+	var last int
+	for _, v := range m {
+		last = v // want `assignment to "last" inside map iteration`
+	}
+	return last
+}
+
+// badFloatSum: float addition is non-associative, so the low bits depend
+// on iteration order.
+func badFloatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `compound assignment to "sum" of non-integer type`
+	}
+	return sum
+}
+
+// goodCollectAndSort is the phys.Site.Nodes idiom the analyzer must
+// recognize: keys gathered, then sorted before use.
+func goodCollectAndSort(m map[string]*domain) []*domain {
+	ids := make([]string, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*domain, len(ids))
+	for i, id := range ids {
+		out[i] = m[id]
+	}
+	return out
+}
+
+// goodSortSlice collects values and establishes order afterwards.
+func goodSortSlice(m map[string]*domain) []*domain {
+	var out []*domain
+	for _, d := range m {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// goodIntReduction: integer sums and counters are order-independent.
+func goodIntReduction(m map[string]*domain) (int64, int) {
+	var free int64
+	n := 0
+	for _, d := range m {
+		free -= d.ram
+		n++
+	}
+	return free, n
+}
+
+// goodLocals: defining and mutating loop-local state is fine.
+func goodLocals(m map[string]int) bool {
+	for k, v := range m {
+		doubled := v * 2
+		if doubled > 10 && len(k) > 1 {
+			_ = doubled
+		}
+	}
+	return true
+}
+
+// goodDelete: deleting from the ranged map leaves a set, not a sequence.
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// goodDistinctKeys: writes indexed by the range key touch a different
+// element each iteration; the final contents are order-independent.
+func goodDistinctKeys(m map[string]int) map[string]int {
+	inverted := make(map[string]int, len(m))
+	for k, v := range m {
+		inverted[k] = v * 2
+	}
+	return inverted
+}
+
+// goodSameConstant: set-membership tests write the identical constant, so
+// the last writer does not matter.
+func goodSameConstant(m map[string]int, port int) bool {
+	inUse := false
+	for _, v := range m {
+		if v == port {
+			inUse = true
+		}
+	}
+	return inUse
+}
+
+// badMixedConstants: different constants make the last writer matter again.
+func badMixedConstants(m map[string]int) int {
+	x := 0
+	for _, v := range m {
+		if v > 0 {
+			x = 1 // want `assignment to "x" inside map iteration`
+		} else {
+			x = 2 // want `assignment to "x" inside map iteration`
+		}
+	}
+	return x
+}
+
+// goodPureCalls: string/number helpers have no ordered effects.
+func goodPureCalls(m map[string]int) int {
+	n := 0
+	for k := range m {
+		if strings.HasPrefix(k, "lsc/") && len(strconv.Itoa(len(k))) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// waived documents an intentionally order-dependent-looking effect that
+// the author has judged safe.
+func waived(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:allow mapiter fixture proves the escape hatch works
+	}
+}

@@ -1,0 +1,58 @@
+// Fixture for the noconcurrency analyzer: goroutines, channels, select
+// and sync primitives are flagged inside the deterministic core.
+package noconcurrency
+
+import "sync"
+
+func badGo() {
+	go func() {}() // want `go statement in deterministic core`
+}
+
+func badChannels(ch chan int) { // want `channel type in deterministic core`
+	ch <- 1 // want `channel send in deterministic core`
+	_ = <-ch // want `channel receive in deterministic core`
+	close(ch) // want `close of channel in deterministic core`
+	for range ch { // want `range over channel in deterministic core`
+	}
+}
+
+func badMake() {
+	_ = make(chan string, 4) // want `make\(chan\) in deterministic core` `channel type in deterministic core`
+}
+
+func badSelect(a, b chan int) { // want `channel type in deterministic core`
+	select { // want `select in deterministic core`
+	case <-a: // want `channel receive in deterministic core`
+	case <-b: // want `channel receive in deterministic core`
+	}
+}
+
+type badState struct {
+	mu sync.Mutex // want `use of sync\.Mutex in deterministic core`
+}
+
+func (s *badState) badLock() {
+	s.mu.Lock()   // want `use of sync\.Lock in deterministic core`
+	defer s.mu.Unlock() // want `use of sync\.Unlock in deterministic core`
+}
+
+func badOnce() {
+	var once sync.Once // want `use of sync\.Once in deterministic core`
+	once.Do(func() {}) // want `use of sync\.Do in deterministic core`
+}
+
+// good: plain single-threaded event-style code.
+type queue struct{ items []int }
+
+func (q *queue) push(v int) { q.items = append(q.items, v) }
+
+func good() {
+	var q queue
+	for i := 0; i < 3; i++ {
+		q.push(i)
+	}
+}
+
+func waived(done chan struct{}) { //lint:allow noconcurrency fixture proves the escape hatch works
+	<-done //lint:allow noconcurrency fixture proves the escape hatch works
+}

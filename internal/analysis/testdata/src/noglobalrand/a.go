@@ -1,0 +1,34 @@
+// Fixture for the noglobalrand analyzer: package-level draws from the
+// process-global source are flagged; explicit *rand.Rand plumbing is not.
+package noglobalrand
+
+import "math/rand"
+
+func bad() {
+	_ = rand.Intn(10)     // want `rand\.Intn uses the process-global math/rand source`
+	_ = rand.Float64()    // want `rand\.Float64 uses the process-global math/rand source`
+	_ = rand.Int63()      // want `rand\.Int63 uses the process-global math/rand source`
+	rand.Seed(42)         // want `rand\.Seed uses the process-global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand\.Shuffle uses the process-global math/rand source`
+	_ = rand.Perm(5)      // want `rand\.Perm uses the process-global math/rand source`
+	_ = rand.NormFloat64() // want `rand\.NormFloat64 uses the process-global math/rand source`
+}
+
+// good mirrors internal/sim/rand.go: an explicit source threaded through.
+func good() {
+	rng := rand.New(rand.NewSource(7))
+	_ = rng.Intn(10)
+	_ = rng.Float64()
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = z.Uint64()
+}
+
+// Types from math/rand are fine; only the global-source functions are not.
+func alsoGood(rng *rand.Rand, src rand.Source) *rand.Rand {
+	_ = src.Int63()
+	return rng
+}
+
+func waived() {
+	_ = rand.Intn(3) //lint:allow noglobalrand fixture proves the escape hatch works
+}

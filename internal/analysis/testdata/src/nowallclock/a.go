@@ -1,0 +1,38 @@
+// Fixture for the nowallclock analyzer: wall-clock reads and waits are
+// flagged; virtual-time arithmetic on time.Duration is not.
+package nowallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                 // want `time\.Now reads the host clock`
+	time.Sleep(time.Second)        // want `time\.Sleep blocks on the host clock`
+	<-time.After(time.Millisecond) // want `time\.After waits on the host clock`
+	_ = time.Since(time.Time{})    // want `time\.Since reads the host clock`
+	_ = time.Until(time.Time{})    // want `time\.Until reads the host clock`
+	t := time.NewTicker(time.Second) // want `time\.NewTicker ticks on the host clock`
+	t.Stop()
+	_ = time.NewTimer(time.Second) // want `time\.NewTimer waits on the host clock`
+	_ = time.Tick(time.Second)     // want `time\.Tick ticks on the host clock`
+	time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc schedules on the host clock`
+}
+
+// passingAround is just as bad as calling: the function value still reads
+// the host clock at every call site.
+func passingAround() func() time.Time {
+	return time.Now // want `time\.Now reads the host clock`
+}
+
+func good() {
+	// Pure conversions and formatting never touch the host clock.
+	d := 5 * time.Second
+	_ = d.String()
+	_ = time.Duration(42)
+	_ = time.Unix(0, 0)
+	var ts time.Time
+	_ = ts.Format(time.RFC3339)
+}
+
+func waived() {
+	_ = time.Now() //lint:allow nowallclock fixture proves the escape hatch works
+}

@@ -216,11 +216,19 @@ func (m *Manager) AdoptNodes() {
 }
 
 // SetTCPConfig overrides guest transport configuration (experiments use
-// this to shrink retry budgets).
+// this to shrink retry budgets). Hypervisors are updated in sorted
+// node-ID order: the call reaches into guest transport stacks, and
+// applying it in randomized map order would leak that order into any
+// side effects (dvclint: mapiter).
 func (m *Manager) SetTCPConfig(cfg tcp.Config) {
 	m.tcpCfg = cfg
-	for _, h := range m.hvs {
-		h.SetTCPConfig(cfg)
+	ids := make([]string, 0, len(m.hvs))
+	for id := range m.hvs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.hvs[id].SetTCPConfig(cfg)
 	}
 }
 

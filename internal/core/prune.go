@@ -55,14 +55,21 @@ func (c *Coordinator) PruneGenerations(vcName string, keep int) int {
 	// the full base at or below the oldest kept generation.
 	prefix := fmt.Sprintf("lsc/%s/", vcName)
 	needed := map[string]bool{}
-	domains := map[string]bool{}
+	domainSet := map[string]bool{}
 	for _, key := range c.mgr.store.Keys(prefix) {
 		rest := strings.TrimPrefix(key, prefix)
 		if _, domain, ok := strings.Cut(rest, "/"); ok {
-			domains[domain] = true
+			domainSet[domain] = true
 		}
 	}
-	for domain := range domains {
+	// Sorted domain order: pruning reads and deletes store objects, and
+	// those effects must replay identically run to run (dvclint: mapiter).
+	domains := make([]string, 0, len(domainSet))
+	for domain := range domainSet {
+		domains = append(domains, domain)
+	}
+	sort.Strings(domains)
+	for _, domain := range domains {
 		base := oldestKept
 		for base > 0 {
 			obj, ok := c.mgr.store.Stat(imageKey(vcName, base, domain))
@@ -78,7 +85,7 @@ func (c *Coordinator) PruneGenerations(vcName string, keep int) int {
 
 	deleted := 0
 	for _, g := range gens[:len(gens)-keep] {
-		for domain := range domains {
+		for _, domain := range domains {
 			key := imageKey(vcName, g, domain)
 			if needed[key] || !c.mgr.store.Has(key) {
 				continue

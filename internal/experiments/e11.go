@@ -106,9 +106,13 @@ func runE11(opts Options) *Result {
 	tbl.Row("4 (proactive)", "-", "-", "-", "-", outcomeStr(proOK))
 	res.table(tbl, opts.out())
 
+	// AND-reduction over the outcome set. Writing only the constant
+	// `false` keeps the loop order-independent (dvclint: mapiter).
 	allOK := proOK
 	for _, o := range outs {
-		allOK = allOK && o.ok
+		if !o.ok {
+			allOK = false
+		}
 	}
 	res.check("every migration lands on the target cluster and the job completes", allOK, "")
 	res.check("downtime grows with VC size (shared store is the bottleneck)",

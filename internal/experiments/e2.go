@@ -60,6 +60,12 @@ func runE2(opts Options) *Result {
 	// PTRANS and HPL trials across problem sizes and checkpoint delays,
 	// verified numerically after restore.
 	hpccTrials := 3
+	if opts.Trials > 0 && opts.Trials < hpccTrials {
+		// A small explicit -trials request scales the verified HPCC matrix
+		// down too (the replay-digest test runs E2 twice and wants the
+		// cheapest run that still exercises every code path once).
+		hpccTrials = opts.Trials
+	}
 	if opts.Full {
 		hpccTrials = 10
 	}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"dvc/internal/core"
+	"dvc/internal/guest"
+	"dvc/internal/hpcc"
+	"dvc/internal/mpi"
+	"dvc/internal/sim"
+)
+
+// These tests are the executable form of the kernel's core promise
+// ("reproducible bit for bit", internal/sim/sim.go): run a reference
+// scenario twice with the same seed and require byte-identical serialized
+// metrics and identical event digests. They run as part of the default
+// `go test ./...` (tier-1) and again under `go test -race ./...` in CI,
+// where the race detector doubles as proof that no hidden concurrency
+// has crept into the replayed path.
+
+// e2MetricsDigest runs a scaled-down E2 (the paper's LSC checkpoint
+// experiment) and hashes every byte the experiment serializes: tables,
+// check lines, details.
+func e2MetricsDigest(t *testing.T, seed int64) string {
+	t.Helper()
+	var buf bytes.Buffer
+	res, err := Run("E2", Options{Seed: seed, Trials: 1, Out: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	for _, c := range res.Checks {
+		fmt.Fprintf(h, "check %s ok=%v detail=%s\n", c.Name, c.OK, c.Detail)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// lscEventDigest runs one LSC checkpoint trial directly on a bed and
+// hashes the event-level trace evidence: how many kernel events fired,
+// the final virtual clock, the checkpoint's timing metrics, and the
+// structural identity of every captured image.
+//
+// Image payload *bytes* are deliberately not hashed: encoding/gob writes
+// map entries in Go's randomized map order, so two encodings of the same
+// guest state are content-equivalent but not byte-equal (see "Determinism
+// invariants" in DESIGN.md). Nothing in the simulation consumes the byte
+// order — transfer time uses the length, restore decodes the content —
+// so replay determinism is judged on what the kernel can observe.
+func lscEventDigest(t *testing.T, seed int64) string {
+	t.Helper()
+	const nodes = 8
+	b := newBed(seed, map[string]int{"alpha": nodes}, core.DefaultNTPLSC(), true)
+	vc := b.allocate("replay", nodes, guest.WatchdogConfig{})
+	vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(600, 20*sim.Millisecond, 4096) })
+	b.k.RunFor(2 * sim.Second)
+	res := b.checkpointOnce(vc, 10*sim.Minute)
+	if res == nil || !res.OK {
+		t.Fatalf("reference checkpoint failed: %+v", res)
+	}
+	if err := core.InspectImages(res.Images); err != nil {
+		t.Fatalf("image consistency: %v", err)
+	}
+	js := b.runJob(vc, 4*sim.Hour)
+	if !js.AllOK() {
+		t.Fatalf("reference job failed: %+v", js)
+	}
+
+	h := sha256.New()
+	fmt.Fprintf(h, "fired=%d now=%d pending=%d\n", b.k.Fired(), b.k.Now(), b.k.Pending())
+	fmt.Fprintf(h, "gen=%d attempts=%d skew=%d store=%d downtime=%d finished=%d\n",
+		res.Generation, res.Attempts, res.SaveSkew, res.StoreTime, res.Downtime, res.FinishedAt)
+	for _, img := range res.Images {
+		fmt.Fprintf(h, "img domain=%s addr=%v ram=%d len=%d incremental=%v captured=%d\n",
+			img.DomainName, img.Addr, img.RAMBytes, len(img.Data), img.Incremental, img.CapturedAt)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestSeedReplayMetricsDigest: same seed, twice, byte-identical metrics.
+func TestSeedReplayMetricsDigest(t *testing.T) {
+	const seed = 20070917 // CLUSTER 2007
+	first := e2MetricsDigest(t, seed)
+	second := e2MetricsDigest(t, seed)
+	if first != second {
+		t.Fatalf("E2 serialized metrics diverged between two runs with seed %d:\n  run 1: %s\n  run 2: %s",
+			seed, first, second)
+	}
+}
+
+// TestSeedReplayEventDigest: same seed, twice, identical kernel-level
+// event digests; a different seed must (overwhelmingly) diverge, proving
+// the digest actually observes the run.
+func TestSeedReplayEventDigest(t *testing.T) {
+	const seed = 20070917
+	first := lscEventDigest(t, seed)
+	second := lscEventDigest(t, seed)
+	if first != second {
+		t.Fatalf("event digest diverged between two runs with seed %d:\n  run 1: %s\n  run 2: %s",
+			seed, first, second)
+	}
+	if other := lscEventDigest(t, seed+1); other == first {
+		t.Fatalf("event digest for seed %d equals seed %d: digest is not sensitive to the run", seed, seed+1)
+	}
+}

@@ -376,7 +376,10 @@ func (o *OS) Freeze() {
 	}
 	o.jiffiesAccum += o.kernel.Now() - o.runningSince
 	o.frozen = true
-	for _, p := range o.procs {
+	// PID order, not map order: cancelling timers touches kernel state,
+	// and replay requires the same touch sequence every run (dvclint:
+	// mapiter).
+	for _, p := range o.Procs() {
 		if p.timer.Pending() {
 			p.timerLeft = p.timer.When() - o.kernel.Now()
 			p.timer.Cancel()
@@ -400,7 +403,9 @@ func (o *OS) Thaw() {
 	}
 	o.frozen = false
 	o.runningSince = o.kernel.Now()
-	for _, p := range o.procs {
+	// PID order, not map order: armTimer schedules kernel events, whose
+	// sequence numbers (the event-queue tiebreak) must be reproducible.
+	for _, p := range o.Procs() {
 		if p.timerLeft >= 0 {
 			left := p.timerLeft
 			p.timerLeft = -1

@@ -48,6 +48,7 @@ type Object struct {
 }
 
 type transfer struct {
+	seq       uint64 // admission order; deterministic tiebreak for completions
 	remaining float64
 	onDone    func()
 }
@@ -59,6 +60,7 @@ type Store struct {
 	objects map[string]*Object
 
 	active     map[*transfer]struct{}
+	nextSeq    uint64
 	lastUpdate sim.Time
 	pending    sim.Handle
 
@@ -116,8 +118,11 @@ func (s *Store) reschedule() {
 	r := s.rate()
 	var next *transfer
 	for t := range s.active {
+		// Min-reduction: eta below depends only on the minimum remaining
+		// value, and ties produce an identical eta, so the identity of
+		// `next` never reaches the kernel.
 		if next == nil || t.remaining < next.remaining {
-			next = t
+			next = t //lint:allow mapiter min-reduction; only the minimum value is used
 		}
 	}
 	eta := sim.Time(next.remaining / r * float64(sim.Second))
@@ -133,6 +138,9 @@ func (s *Store) complete() {
 			done = append(done, t)
 		}
 	}
+	// Completion callbacks schedule further events; fire them in admission
+	// order, not randomized map order, so replay is exact.
+	sort.Slice(done, func(i, j int) bool { return done[i].seq < done[j].seq })
 	for _, t := range done {
 		delete(s.active, t)
 	}
@@ -148,7 +156,8 @@ func (s *Store) complete() {
 func (s *Store) begin(size int64, onDone func()) {
 	s.kernel.After(s.cfg.BaseLatency, func() {
 		s.settle()
-		t := &transfer{remaining: float64(size), onDone: onDone}
+		t := &transfer{seq: s.nextSeq, remaining: float64(size), onDone: onDone}
+		s.nextSeq++
 		s.active[t] = struct{}{}
 		s.reschedule()
 	})

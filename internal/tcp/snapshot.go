@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sort"
+
 	"dvc/internal/netsim"
 	"dvc/internal/sim"
 )
@@ -62,10 +64,12 @@ func (s *Stack) Snapshot() *StackSnapshot {
 		SegmentsSent: s.SegmentsSent,
 		SegmentsRcvd: s.SegmentsRcvd,
 	}
+	ports := make([]uint16, 0, len(s.listeners))
 	for port := range s.listeners {
-		snap.ListenerPorts = append(snap.ListenerPorts, port)
+		ports = append(ports, port)
 	}
-	sortUint16(snap.ListenerPorts)
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	snap.ListenerPorts = ports
 	for _, c := range s.Conns() {
 		cs := ConnSnapshot{
 			Key:            c.key,
@@ -157,10 +161,3 @@ func (s *Stack) SetListenerAccept(port uint16, onAccept func(*Conn)) {
 	}
 }
 
-func sortUint16(v []uint16) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
-}

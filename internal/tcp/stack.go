@@ -206,7 +206,10 @@ func (s *Stack) Freeze() {
 		return
 	}
 	s.frozen = true
-	for _, c := range s.conns {
+	// Sorted order: freeze cancels retransmission timers, and cancelling
+	// kernel events in randomized map order would perturb replay
+	// (dvclint: mapiter).
+	for _, c := range s.Conns() {
 		c.freeze()
 	}
 }
@@ -217,7 +220,9 @@ func (s *Stack) Thaw() {
 		return
 	}
 	s.frozen = false
-	for _, c := range s.conns {
+	// Sorted order: thaw re-arms timers, i.e. schedules kernel events,
+	// whose sequence numbers must not depend on map order.
+	for _, c := range s.Conns() {
 		c.thaw()
 	}
 }
