@@ -5,16 +5,24 @@
 //	dvcsim -list
 //	dvcsim -exp E1 [-seed 42] [-trials 20]
 //	dvcsim -exp all [-full]
+//	dvcsim -exp E2 -trials 1 -trace e2.jsonl -perfetto e2.json
 //
 // Each experiment prints its table(s) followed by PASS/FAIL shape checks
 // against the paper's reported results. The exit status is non-zero if
 // any check fails.
+//
+// With -trace or -perfetto a deterministic event trace of the run is
+// recorded (same seed, same flags => byte-identical JSONL) and written as
+// an event log and/or a Chrome trace_events file loadable in
+// ui.perfetto.dev. Tracing also prints (or, with -json, embeds) the
+// counter-registry snapshot.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dvc"
@@ -22,12 +30,14 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (E1..E14, A1, A2) or \"all\"")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		trials  = flag.Int("trials", 0, "trial count for statistical experiments (0 = default)")
-		full    = flag.Bool("full", false, "paper-scale parameters (slow: E2 runs >2000 trials)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		jsonOut = flag.Bool("json", false, "emit results as JSON instead of tables")
+		exp      = flag.String("exp", "all", "experiment id (E1..E14, A1, A2) or \"all\"")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		trials   = flag.Int("trials", 0, "trial count for statistical experiments (0 = default)")
+		full     = flag.Bool("full", false, "paper-scale parameters (slow: E2 runs >2000 trials)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		traceOut = flag.String("trace", "", "write a deterministic JSONL event trace to this file")
+		perfOut  = flag.String("perfetto", "", "write a Chrome/Perfetto trace_events JSON to this file")
 	)
 	flag.Parse()
 
@@ -46,6 +56,11 @@ func main() {
 		dvc.WriteBanner(os.Stdout)
 		fmt.Println()
 	}
+	var tracer *dvc.Tracer
+	if *traceOut != "" || *perfOut != "" {
+		tracer = dvc.NewTracer()
+		opts.Tracer = tracer
+	}
 
 	var results []*dvc.ExperimentResult
 	if *exp == "all" {
@@ -62,6 +77,23 @@ func main() {
 		results = append(results, res)
 	}
 
+	if tracer != nil {
+		if *traceOut != "" {
+			if err := writeFile(*traceOut, tracer.WriteJSONL); err != nil {
+				fatal(err)
+			}
+		}
+		if *perfOut != "" {
+			if err := writeFile(*perfOut, tracer.WritePerfetto); err != nil {
+				fatal(err)
+			}
+		}
+		if !*jsonOut {
+			fmt.Println(tracer.Registry().Table().String())
+			fmt.Printf("dvcsim: %d trace events recorded\n\n", tracer.Len())
+		}
+	}
+
 	failed := 0
 	for _, res := range results {
 		for range res.FailedChecks() {
@@ -71,7 +103,17 @@ func main() {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(results); err != nil {
+		var err error
+		if tracer != nil {
+			// Merge the counter-registry snapshot alongside the results.
+			err = enc.Encode(struct {
+				Results  []*dvc.ExperimentResult `json:"results"`
+				Registry json.Marshaler          `json:"registry"`
+			}{results, tracer.Registry()})
+		} else {
+			err = enc.Encode(results)
+		}
+		if err != nil {
 			fatal(err)
 		}
 	}
@@ -82,6 +124,19 @@ func main() {
 	if !*jsonOut {
 		fmt.Println("dvcsim: all shape checks passed")
 	}
+}
+
+// writeFile writes one exporter's output to path.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

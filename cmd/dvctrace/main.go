@@ -1,11 +1,13 @@
 // Command dvctrace generates, validates and summarises job traces for
-// the resource-manager experiments.
+// the resource-manager experiments, and summarises observability event
+// traces recorded by dvcsim -trace.
 //
 // Usage:
 //
 //	dvctrace -gen 20 -seed 7 > trace.json      # synthesise a mix
 //	dvctrace -validate trace.json              # parse + sanity-check
 //	dvctrace -summary trace.json               # widths, work, arrival span
+//	dvctrace -stats e2.jsonl                   # event counts + LSC epoch percentiles
 //
 // Generated traces feed rm.SubmitTrace (and can be archived next to the
 // experiment output that consumed them).
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"dvc/internal/metrics"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 	"dvc/internal/workload"
 )
@@ -33,6 +36,7 @@ func main() {
 		workMax  = flag.Duration("work-max", 10*time.Minute, "maximum per-node work")
 		validate = flag.String("validate", "", "validate a trace file")
 		summary  = flag.String("summary", "", "summarise a trace file")
+		stats    = flag.String("stats", "", "summarise an observability JSONL event trace (dvcsim -trace)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,8 @@ func main() {
 	case *summary != "":
 		trace := load(*summary)
 		summarise(trace)
+	case *stats != "":
+		eventStats(*stats)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -109,6 +115,68 @@ func summarise(trace []workload.JobSpec) {
 		}
 		fmt.Printf("stack %-16s %d jobs\n", stack, n)
 	}
+}
+
+// eventStats reads an observability JSONL event trace and prints the
+// per-event-type record counts plus duration percentiles for LSC epoch
+// spans (B/E records paired by span id). Output is sorted, so identical
+// traces summarise byte-identically.
+func eventStats(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := obs.ReadJSONL(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	counts := map[string]int{}
+	begins := map[uint64]sim.Time{} // lsc.epoch begin TS, keyed by begin seq
+	var epochs metrics.Sample
+	commits, aborts := 0, 0
+	for _, r := range recs {
+		counts[string(r.Type)]++
+		switch r.Type {
+		case obs.EvLSCEpoch:
+			switch r.Ph {
+			case obs.PhaseBegin:
+				begins[r.Span] = r.TS
+			case obs.PhaseEnd:
+				if start, ok := begins[r.Span]; ok {
+					epochs.AddTime(r.TS - start)
+				}
+			}
+		case obs.EvLSCCommit:
+			commits++
+		case obs.EvLSCAbort:
+			aborts++
+		}
+	}
+
+	tbl := metrics.NewTable(fmt.Sprintf("event trace: %d records", len(recs)), "event", "count")
+	types := make([]string, 0, len(counts))
+	for typ := range counts {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		tbl.Row(typ, counts[typ])
+	}
+	fmt.Print(tbl.String())
+
+	if epochs.N() > 0 {
+		fmt.Printf("lsc epochs: %d complete (%d commit, %d abort)\n", epochs.N(), commits, aborts)
+		fmt.Printf("epoch duration  p50 %s  p90 %s  p99 %s  max %s\n",
+			fmtDur(epochs.Percentile(50)), fmtDur(epochs.Percentile(90)),
+			fmtDur(epochs.Percentile(99)), fmtDur(epochs.Max()))
+	}
+}
+
+// fmtDur renders a duration sampled in seconds.
+func fmtDur(seconds float64) string {
+	return sim.Time(seconds * float64(sim.Second)).String()
 }
 
 func fatal(err error) {

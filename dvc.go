@@ -44,6 +44,7 @@ import (
 	"dvc/internal/hpcc"
 	"dvc/internal/mpi"
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/storage"
@@ -101,6 +102,8 @@ type (
 	ExperimentOptions = experiments.Options
 	// ExperimentResult is a paper-experiment outcome with shape checks.
 	ExperimentResult = experiments.Result
+	// Tracer records a deterministic event/span trace (internal/obs).
+	Tracer = obs.Tracer
 )
 
 // Workload constructors re-exported for applications.
@@ -125,6 +128,9 @@ var (
 	NaiveLSC = core.DefaultNaiveLSC
 	// NTPLSC is the working NTP-scheduled coordinator (§3.1-3.2).
 	NTPLSC = core.DefaultNTPLSC
+	// NewTracer creates an event/span recorder for SetTracer or
+	// ExperimentOptions.Tracer.
+	NewTracer = obs.NewTracer
 )
 
 // Simulation bundles a complete DVC environment: event kernel, physical
@@ -179,6 +185,19 @@ func (s *Simulation) Start() {
 	if !s.started {
 		s.site.NTP.Start()
 		s.started = true
+	}
+}
+
+// SetTracer attaches a deterministic event tracer to every layer of the
+// simulation (hypervisors, transport, fabric, LSC) and starts the kernel
+// probe. Call before Start; pass nil to leave tracing off (the default —
+// untraced hot paths pay only a nil check). Note the probe schedules
+// ordinary kernel events, so a traced run's event schedule differs from
+// an untraced one; any two traced runs with the same seed are identical.
+func (s *Simulation) SetTracer(t *Tracer) {
+	s.mgr.SetTracer(t)
+	if t != nil {
+		obs.StartKernelProbe(s.kernel, t, 500*Millisecond)
 	}
 }
 

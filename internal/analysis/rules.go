@@ -42,6 +42,7 @@ var simPackages = map[string]bool{
 	"dvc/internal/script":      true,
 	"dvc/internal/metrics":     true,
 	"dvc/internal/experiments": true,
+	"dvc/internal/obs":         true,
 }
 
 // IsSimPackage reports whether the import path belongs to the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/vm"
@@ -60,6 +61,23 @@ func (c *Coordinator) LiveMigrate(vc *VirtualCluster, targets []*phys.Node, cfg 
 	k := c.mgr.kernel
 	res := &LiveMigrationResult{VC: vc.spec.Name}
 	start := k.Now()
+	span := c.tr().Begin(start, obs.EvLiveMigrate, "", vc.spec.Name, "live-migrate",
+		obs.Int("domains", int64(vc.spec.Nodes)))
+	if tr := c.tr(); tr != nil {
+		inner := done
+		done = func(r *LiveMigrationResult) {
+			outcome := "ok"
+			if !r.OK {
+				outcome = "fail"
+			}
+			tr.End(k.Now(), span, obs.Str("outcome", outcome),
+				obs.Int("rounds", int64(r.Rounds)), obs.Int("bytes", r.BytesCopied),
+				obs.Dur("downtime", r.Downtime))
+			tr.Inc("live.migrations", 1)
+			tr.Observe("live.downtime_ms", float64(r.Downtime)/1e6)
+			inner(r)
+		}
+	}
 
 	states := make([]*liveDomState, len(vc.domains))
 	fabric := c.mgr.site.Fabric
@@ -83,6 +101,8 @@ func (c *Coordinator) LiveMigrate(vc *VirtualCluster, targets []*phys.Node, cfg 
 		copyTime := sim.Time(float64(toCopy) / s.bw * float64(sim.Second))
 		mark := s.d.MarkClean()
 		res.BytesCopied += toCopy
+		c.tr().Emit(k.Now(), obs.EvLiveRound, s.d.Node().ID(), s.d.Name(), "pre-copy",
+			obs.Int("round", int64(s.rounds)), obs.Int("bytes", toCopy))
 		k.After(copyTime, func() {
 			if s.d.State() != vm.StateRunning {
 				// Crashed or externally paused mid-migration.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dvc/internal/guest"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
@@ -127,6 +128,7 @@ type CheckpointResult struct {
 	FinishedAt sim.Time
 
 	targets []*phys.Node // migration destination; nil = same placement
+	span    obs.SpanID   // open lsc.epoch span, closed by finishOK/finishFail
 }
 
 // RestoreResult reports a coordinated restore.
@@ -156,6 +158,10 @@ func NewCoordinator(mgr *Manager, cfg LSCConfig) *Coordinator {
 
 // Config returns the coordinator configuration.
 func (c *Coordinator) Config() LSCConfig { return c.cfg }
+
+// tr returns the manager's tracer (nil when tracing is off; every obs
+// method is nil-receiver safe).
+func (c *Coordinator) tr() *obs.Tracer { return c.mgr.tracer }
 
 // imageKey is the storage key for one domain of one generation.
 func imageKey(vcName string, gen int, domain string) string {
@@ -223,6 +229,13 @@ func (c *Coordinator) checkpointTo(vc *VirtualCluster, targets []*phys.Node, don
 	res := &CheckpointResult{VC: vc.spec.Name, Generation: vc.nextGen, targets: targets}
 	vc.nextGen++
 	c.AttemptCount++
+	kind := "checkpoint"
+	if targets != nil {
+		kind = "migrate"
+	}
+	res.span = c.tr().Begin(c.mgr.kernel.Now(), obs.EvLSCEpoch, "", vc.spec.Name, "epoch",
+		obs.Int("gen", int64(res.Generation)), obs.Str("mode", c.cfg.Mode.String()), obs.Str("kind", kind))
+	c.tr().Inc("lsc.attempts", 1)
 	c.attempt(vc, res, 1, done)
 	return nil
 }
@@ -343,6 +356,12 @@ func (c *Coordinator) afterPaused(vc *VirtualCluster, res *CheckpointResult, fir
 
 	// Write the set to shared storage (fair-share bandwidth).
 	storeStart := k.Now()
+	var storeBytes int64
+	for _, img := range res.Images {
+		storeBytes += img.SizeBytes()
+	}
+	storeSpan := c.tr().Begin(storeStart, obs.EvLSCStore, "", vc.spec.Name, "store",
+		obs.Int("images", int64(len(res.Images))), obs.Int("bytes", storeBytes))
 	writes := len(res.Images)
 	for _, img := range res.Images {
 		img := img
@@ -350,6 +369,7 @@ func (c *Coordinator) afterPaused(vc *VirtualCluster, res *CheckpointResult, fir
 			writes--
 			if writes == 0 {
 				res.StoreTime = k.Now() - storeStart
+				c.tr().End(k.Now(), storeSpan)
 				c.afterStored(vc, res, firstPause, done)
 			}
 		})
@@ -455,6 +475,21 @@ func (c *Coordinator) resumePlan(vc *VirtualCluster) []sim.Time {
 func (c *Coordinator) RestoreVC(vc *VirtualCluster, gen int, placement []*phys.Node, done func(*RestoreResult)) {
 	k := c.mgr.kernel
 	res := &RestoreResult{VC: vc.spec.Name, Generation: gen}
+	// The whole staged restore is one lsc.restore span; closing it in a
+	// wrapped callback covers every exit path below.
+	span := c.tr().Begin(k.Now(), obs.EvLSCRestore, "", vc.spec.Name, "restore",
+		obs.Int("gen", int64(gen)))
+	if tr := c.tr(); tr != nil {
+		inner := done
+		done = func(rr *RestoreResult) {
+			outcome := "ok"
+			if !rr.OK {
+				outcome = "fail"
+			}
+			tr.End(k.Now(), span, obs.Str("outcome", outcome), obs.Dur("stage", rr.StageTime))
+			inner(rr)
+		}
+	}
 	if len(placement) != vc.spec.Nodes {
 		res.Reason = fmt.Sprintf("placement has %d nodes, want %d", len(placement), vc.spec.Nodes)
 		res.FinishedAt = k.Now()
@@ -554,6 +589,15 @@ func (c *Coordinator) materialize(vc *VirtualCluster, images []*vm.Image, placem
 func (c *Coordinator) finishOK(vc *VirtualCluster, res *CheckpointResult, done func(*CheckpointResult)) {
 	res.OK = true
 	res.FinishedAt = c.mgr.kernel.Now()
+	if tr := c.tr(); tr != nil {
+		now := c.mgr.kernel.Now()
+		tr.Emit(now, obs.EvLSCCommit, "", res.VC, "commit", obs.Int("gen", int64(res.Generation)))
+		tr.End(now, res.span, obs.Str("outcome", "commit"),
+			obs.Dur("skew", res.SaveSkew), obs.Dur("downtime", res.Downtime))
+		tr.Inc("lsc.commits", 1)
+		tr.Observe("lsc.save_skew_ms", float64(res.SaveSkew)/1e6)
+		tr.Observe("lsc.downtime_ms", float64(res.Downtime)/1e6)
+	}
 	done(res)
 }
 
@@ -566,6 +610,12 @@ func (c *Coordinator) finishFail(res *CheckpointResult, reason string, done func
 		res.Reason = reason
 	}
 	res.FinishedAt = c.mgr.kernel.Now()
+	if tr := c.tr(); tr != nil {
+		now := c.mgr.kernel.Now()
+		tr.Emit(now, obs.EvLSCAbort, "", res.VC, "abort", obs.Str("reason", res.Reason))
+		tr.End(now, res.span, obs.Str("outcome", "abort"), obs.Str("reason", res.Reason))
+		tr.Inc("lsc.aborts", 1)
+	}
 	done(res)
 }
 

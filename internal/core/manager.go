@@ -12,6 +12,7 @@ import (
 	"dvc/internal/guest"
 	"dvc/internal/mpi"
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/storage"
@@ -181,6 +182,7 @@ type Manager struct {
 	store  *storage.Store
 	xen    vm.XenConfig
 	tcpCfg tcp.Config
+	tracer *obs.Tracer
 
 	hvs map[string]*vm.Hypervisor
 	vcs map[string]*VirtualCluster
@@ -210,10 +212,31 @@ func (m *Manager) AdoptNodes() {
 		if _, ok := m.hvs[n.ID()]; !ok {
 			h := vm.NewHypervisor(m.kernel, m.site.Fabric, n, m.xen)
 			h.SetTCPConfig(m.tcpCfg)
+			h.SetTracer(m.tracer)
 			m.hvs[n.ID()] = h
 		}
 	}
 }
+
+// SetTracer attaches an observability tracer (nil disables tracing) and
+// propagates it to every hypervisor and to the site fabric. Like
+// SetTCPConfig, the fan-out walks hypervisors in sorted node-ID order so
+// nothing observable depends on map order (dvclint: mapiter).
+func (m *Manager) SetTracer(t *obs.Tracer) {
+	m.tracer = t
+	m.site.Fabric.SetTracer(t)
+	ids := make([]string, 0, len(m.hvs))
+	for id := range m.hvs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		m.hvs[id].SetTracer(t)
+	}
+}
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (m *Manager) Tracer() *obs.Tracer { return m.tracer }
 
 // SetTCPConfig overrides guest transport configuration (experiments use
 // this to shrink retry budgets). Hypervisors are updated in sorted

@@ -6,6 +6,7 @@ import (
 	"dvc/internal/hpcc"
 	"dvc/internal/metrics"
 	"dvc/internal/mpi"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -47,7 +48,7 @@ func runE2(opts Options) *Result {
 	// Bulk trials with continuous halo traffic.
 	bulk := row{name: "halo-26", trials: volume}
 	for trial := 0; trial < volume; trial++ {
-		r := lscTrial(opts.Seed+int64(trial), nodes, lsc, true)
+		r := lscTrialT(opts.Seed+int64(trial), nodes, lsc, true, opts.Tracer)
 		if !r.ok {
 			bulk.failures++
 		}
@@ -79,7 +80,7 @@ func runE2(opts Options) *Result {
 			// PTRANS: ~1200 repetitions keep traffic flowing through the
 			// save instant (the paper's consistency stress).
 			if !hpccLSCTrial(opts.Seed+int64(7000+n+trial), nodes, lsc, true,
-				func(int) mpi.App { return hpcc.NewPTRANS(n, int64(trial), 1200, 0.02) }, &ptransSkew) {
+				func(int) mpi.App { return hpcc.NewPTRANS(n, int64(trial), 1200, 0.02) }, &ptransSkew, opts.Tracer) {
 				ptransFail++
 			}
 			nPT++
@@ -88,7 +89,7 @@ func runE2(opts Options) *Result {
 			hn := 4 * n
 			rate := (2.0 / 3.0 * float64(hn) * float64(hn) * float64(hn) / float64(nodes)) / 8 / 1e9
 			if !hpccLSCTrial(opts.Seed+int64(8000+n+trial), nodes, lsc, true,
-				func(int) mpi.App { return hpcc.NewHPL(hn, int64(trial), rate) }, &hplSkew) {
+				func(int) mpi.App { return hpcc.NewHPL(hn, int64(trial), rate) }, &hplSkew, opts.Tracer) {
 				hplFail++
 			}
 			nHPL++
@@ -109,8 +110,8 @@ func runE2(opts Options) *Result {
 
 // hpccLSCTrial is lscTrial for a verified HPCC workload: checkpoint
 // mid-run, then require successful completion AND numerical verification.
-func hpccLSCTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool, makeApp func(int) mpi.App, skew *metrics.Sample) bool {
-	b := newBed(seed, map[string]int{"alpha": nodes}, lsc, ntp)
+func hpccLSCTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool, makeApp func(int) mpi.App, skew *metrics.Sample, tr *obs.Tracer) bool {
+	b := makeBed(seed, bedOptions{clusters: map[string]int{"alpha": nodes}, lsc: lsc, ntp: ntp, tracer: tr})
 	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
 	vc.LaunchMPI(6000, makeApp)
 	b.k.RunFor(2 * sim.Second)

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"dvc/internal/metrics"
+	"dvc/internal/obs"
 )
 
 // Options configures a run.
@@ -25,6 +26,11 @@ type Options struct {
 	Full bool
 	// Out receives the printed tables; nil discards them.
 	Out io.Writer
+	// Tracer, when non-nil, records a deterministic event trace of the
+	// run (internal/obs). One tracer may span every trial of an
+	// experiment; virtual time restarts per trial and the exporters
+	// re-sort. Experiments that do not support tracing ignore it.
+	Tracer *obs.Tracer
 }
 
 func (o Options) out() io.Writer {

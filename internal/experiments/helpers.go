@@ -7,6 +7,7 @@ import (
 	"dvc/internal/hpcc"
 	"dvc/internal/mpi"
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/storage"
@@ -38,7 +39,11 @@ type bedOptions struct {
 	ntpCfg   *clock.NTPConfig    // nil = LAN defaults
 	tcpCfg   *tcp.Config         // nil = default transport
 	profile  *netsim.LinkProfile // nil = gigabit Ethernet
+	tracer   *obs.Tracer         // nil = tracing off
 }
+
+// probeInterval is the kernel probe's sampling period on traced beds.
+const probeInterval = 500 * sim.Millisecond
 
 // makeBed builds the environment. Clusters are created in a fixed name
 // order for determinism.
@@ -65,6 +70,13 @@ func makeBed(seed int64, o bedOptions) *bed {
 	mgr := core.NewManager(k, site, store, vm.DefaultXenConfig())
 	if o.tcpCfg != nil {
 		mgr.SetTCPConfig(*o.tcpCfg)
+	}
+	if o.tracer != nil {
+		// Attach tracing to every layer and sample the kernel. The probe
+		// schedules ordinary events, so traced and untraced runs have
+		// different schedules — but any two traced runs are identical.
+		mgr.SetTracer(o.tracer)
+		obs.StartKernelProbe(k, o.tracer, probeInterval)
 	}
 	return &bed{k: k, site: site, store: store, mgr: mgr, co: core.NewCoordinator(mgr, o.lsc)}
 }
@@ -144,7 +156,13 @@ type lscTrialResult struct {
 }
 
 func lscTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool) lscTrialResult {
-	b := newBed(seed, map[string]int{"alpha": nodes}, lsc, ntp)
+	return lscTrialT(seed, nodes, lsc, ntp, nil)
+}
+
+// lscTrialT is lscTrial with an optional tracer: one tracer can span many
+// trials (each trial restarts virtual time; the exporters handle it).
+func lscTrialT(seed int64, nodes int, lsc core.LSCConfig, ntp bool, tr *obs.Tracer) lscTrialResult {
+	b := makeBed(seed, bedOptions{clusters: map[string]int{"alpha": nodes}, lsc: lsc, ntp: ntp, tracer: tr})
 	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
 	// Enough halo rounds to keep traffic flowing through the longest
 	// plausible save window (~30 s of 20 ms rounds).

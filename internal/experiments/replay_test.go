@@ -11,6 +11,7 @@ import (
 	"dvc/internal/guest"
 	"dvc/internal/hpcc"
 	"dvc/internal/mpi"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -89,6 +90,63 @@ func TestSeedReplayMetricsDigest(t *testing.T) {
 	if first != second {
 		t.Fatalf("E2 serialized metrics diverged between two runs with seed %d:\n  run 1: %s\n  run 2: %s",
 			seed, first, second)
+	}
+}
+
+// e2TraceDigest runs the scaled-down E2 with a fresh tracer attached and
+// hashes the serialized JSONL event trace, returning the digest and the
+// trace bytes.
+func e2TraceDigest(t *testing.T, seed int64) (string, []byte) {
+	t.Helper()
+	tr := obs.NewTracer()
+	if _, err := Run("E2", Options{Seed: seed, Trials: 1, Tracer: tr}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(h[:]), buf.Bytes()
+}
+
+// TestSeedReplayTraceDigest: the full observability trace — every event
+// the instrumented layers emit, in emission order, serialized to JSONL —
+// must be byte-identical across two same-seed runs, and must actually
+// contain the event families E2 exercises (LSC epochs, VM pause/save/
+// restore, TCP retransmissions, kernel probe samples). A different seed
+// must diverge, proving the trace observes the run rather than a
+// constant schedule.
+func TestSeedReplayTraceDigest(t *testing.T) {
+	const seed = 20070917
+	first, raw := e2TraceDigest(t, seed)
+	second, _ := e2TraceDigest(t, seed)
+	if first != second {
+		t.Fatalf("JSONL trace diverged between two runs with seed %d:\n  run 1: %s\n  run 2: %s",
+			seed, first, second)
+	}
+	if other, _ := e2TraceDigest(t, seed+1); other == first {
+		t.Fatalf("trace digest for seed %d equals seed %d: trace is not sensitive to the run", seed, seed+1)
+	}
+	for _, want := range []string{
+		`"ev":"lsc.epoch"`,
+		`"ev":"lsc.store"`,
+		`"ev":"vm.pause"`,
+		`"ev":"vm.save"`,
+		`"ev":"vm.restore"`,
+		`"ev":"sim.probe"`,
+	} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("trace is missing %s events", want)
+		}
+	}
+	// And the JSONL must round-trip through the reader.
+	recs, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("re-reading own trace: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace round-tripped to zero records")
 	}
 }
 

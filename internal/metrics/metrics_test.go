@@ -50,6 +50,93 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the nearest-rank behaviour the trace
+// summarisers (dvctrace -stats, obs.Registry) depend on: insertion order
+// must not matter, duplicates must be handled, a single sample answers
+// every percentile, and out-of-range p clamps instead of panicking.
+func TestPercentileEdgeCases(t *testing.T) {
+	// Unsorted insertion order: Percentile sorts a copy internally.
+	var s Sample
+	for _, v := range []float64{9, 1, 5, 3, 7} {
+		s.Add(v)
+	}
+	if p := s.Percentile(50); p != 5 {
+		t.Fatalf("unsorted P50 = %v, want 5", p)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("Min/Max after unsorted insert = %v/%v", s.Min(), s.Max())
+	}
+	// Percentile must not mutate the stored order (Mean unchanged etc.).
+	if s.Mean() != 5 {
+		t.Fatalf("Mean after Percentile = %v", s.Mean())
+	}
+
+	// Single element: every percentile is that element.
+	var one Sample
+	one.Add(42)
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := one.Percentile(p); got != 42 {
+			t.Fatalf("single-sample P%v = %v, want 42", p, got)
+		}
+	}
+
+	// Duplicates: nearest-rank lands inside the run of duplicates.
+	var dup Sample
+	for _, v := range []float64{1, 2, 2, 2, 2, 2, 2, 2, 2, 3} {
+		dup.Add(v)
+	}
+	if p := dup.Percentile(50); p != 2 {
+		t.Fatalf("duplicate P50 = %v, want 2", p)
+	}
+	if p := dup.Percentile(10); p != 1 {
+		t.Fatalf("duplicate P10 = %v, want 1", p)
+	}
+	if p := dup.Percentile(100); p != 3 {
+		t.Fatalf("duplicate P100 = %v, want 3", p)
+	}
+
+	// Out-of-range p clamps to the extremes rather than panicking.
+	var two Sample
+	two.Add(10)
+	two.Add(20)
+	if p := two.Percentile(-5); p != 10 {
+		t.Fatalf("P(-5) = %v, want 10", p)
+	}
+	if p := two.Percentile(250); p != 20 {
+		t.Fatalf("P(250) = %v, want 20", p)
+	}
+}
+
+// TestPercentileMonotonic: for any sample, Percentile must be monotonic
+// in p and bounded by Min/Max — the property every latency table in the
+// experiments relies on.
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAddTime(t *testing.T) {
 	var s Sample
 	s.AddTime(1500 * sim.Millisecond)

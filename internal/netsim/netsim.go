@@ -12,6 +12,7 @@ package netsim
 import (
 	"fmt"
 
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -130,6 +131,7 @@ type Fabric struct {
 	inter    LinkProfile
 	ports    map[Addr]*Port
 	stats    Stats
+	tracer   *obs.Tracer
 
 	// DropRule, when set, force-drops matching packets. Experiments use
 	// it to cut specific messages at a snapshot boundary (E3).
@@ -156,6 +158,23 @@ func (f *Fabric) SetInterCluster(profile LinkProfile) { f.inter = profile }
 
 // Stats returns a snapshot of the fabric counters.
 func (f *Fabric) Stats() Stats { return f.stats }
+
+// SetTracer attaches an observability tracer (nil disables tracing).
+// Fabric drops become net.drop instant events with a reason attribute.
+func (f *Fabric) SetTracer(t *obs.Tracer) { f.tracer = t }
+
+// traceDrop records one dropped packet. Drops are site-level events (the
+// fabric has addresses, not nodes), so the record's node/dom are empty
+// and the endpoints travel as attributes.
+func (f *Fabric) traceDrop(pkt Packet, reason string) {
+	if f.tracer == nil {
+		return
+	}
+	f.tracer.Emit(f.kernel.Now(), obs.EvNetDrop, "", "", "drop",
+		obs.Str("reason", reason), obs.Str("src", string(pkt.Src)), obs.Str("dst", string(pkt.Dst)))
+	f.tracer.Inc("net.drops", 1)
+	f.tracer.Inc("net.drops."+reason, 1)
+}
 
 // Attach creates an up port at addr in cluster. Attaching an address twice
 // panics: addresses are identities.
@@ -261,20 +280,24 @@ func (f *Fabric) Send(pkt Packet) {
 	if !ok || !src.up {
 		// A down/detached sender cannot transmit at all.
 		f.stats.DroppedDown++
+		f.traceDrop(pkt, "sender-down")
 		return
 	}
 	if f.DropRule != nil && f.DropRule(pkt) {
 		f.stats.DroppedLoss++
+		f.traceDrop(pkt, "rule")
 		return
 	}
 	dst, ok := f.ports[pkt.Dst]
 	if !ok {
 		f.stats.DroppedNoDest++
+		f.traceDrop(pkt, "no-dest")
 		return
 	}
 	prof := f.profileFor(src, dst)
 	if prof.LossProb > 0 && f.kernel.Rand().Float64() < prof.LossProb {
 		f.stats.DroppedLoss++
+		f.traceDrop(pkt, "loss")
 		return
 	}
 	// NIC serialisation: the packet finishes transmitting txTime after
@@ -296,10 +319,12 @@ func (f *Fabric) Send(pkt Packet) {
 		p, ok := f.ports[pkt.Dst]
 		if !ok {
 			f.stats.DroppedNoDest++
+			f.traceDrop(pkt, "dest-detached")
 			return
 		}
 		if !p.up || p.handler == nil {
 			f.stats.DroppedDown++
+			f.traceDrop(pkt, "dest-down")
 			return
 		}
 		f.stats.Delivered++

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"testing"
+)
+
+// BenchmarkTracerDisabled measures the instrumented-hot-path cost when
+// tracing is off: a nil *Tracer must reduce every call to a nil check
+// with zero allocations (the variadic attribute slice must not escape).
+func BenchmarkTracerDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"), Int("try", 2))
+		id := tr.Begin(2, EvLSCEpoch, "", "t", "epoch")
+		tr.End(3, id, Str("outcome", "commit"))
+		tr.Counter(4, EvSimProbe, "", "", "sim.queue_depth", 1)
+		tr.Inc("tcp.retransmits", 1)
+		tr.Observe("lat", 5)
+	}
+}
+
+// BenchmarkTracerEnabled is the reference point for the enabled path.
+func BenchmarkTracerEnabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"))
+	}
+}
+
+// TestTracerDisabledZeroAlloc pins the nil-path allocation count so a
+// regression fails tests, not just a benchmark someone has to read.
+func TestTracerDisabledZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"), Int("try", 2))
+		id := tr.Begin(2, EvLSCEpoch, "", "t", "epoch")
+		tr.End(3, id, Str("outcome", "commit"))
+		tr.Counter(4, EvSimProbe, "", "", "sim.queue_depth", 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
+	}
+}

@@ -1,0 +1,246 @@
+// Package obs is the deterministic observability layer for the DVC
+// simulation core: a structured event/span recorder (Tracer) keyed off
+// sim.Time and a counter/gauge/histogram registry (Registry) with stable
+// sorted output.
+//
+// Determinism is part of the contract. Every record is timestamped with
+// virtual time supplied by the caller (components already hold the
+// kernel), sequence numbers are assigned in emission order, and both
+// exporters (JSONL and Chrome/Perfetto trace_events JSON) produce
+// byte-identical output for identical runs — the seed-replay tests in
+// internal/experiments hash the trace bytes of two runs and require
+// equality. The tracer never reads the host clock and never spawns
+// goroutines, so it passes the dvclint determinism suite like the rest of
+// the simulation core.
+//
+// A nil *Tracer is the disabled tracer: every method is nil-receiver
+// safe and returns immediately, so instrumented hot paths pay only a
+// nil-check when tracing is off (BenchmarkTracerDisabled guards this —
+// zero allocations on the nil path).
+package obs
+
+import (
+	"strconv"
+
+	"dvc/internal/sim"
+)
+
+// EventType names one kind of event in the trace taxonomy. The dotted
+// prefix groups events by subsystem and doubles as the Perfetto category.
+type EventType string
+
+// The event taxonomy (see DESIGN.md "Observability").
+const (
+	// VM lifecycle (internal/vm). One Perfetto thread per domain.
+	EvVMBoot    EventType = "vm.boot"
+	EvVMPause   EventType = "vm.pause"
+	EvVMUnpause EventType = "vm.unpause"
+	EvVMSave    EventType = "vm.save"
+	EvVMRestore EventType = "vm.restore"
+	EvVMDestroy EventType = "vm.destroy"
+
+	// LSC coordination (internal/core). Spans are per virtual cluster.
+	EvLSCEpoch   EventType = "lsc.epoch"   // span: checkpoint begin → commit/abort
+	EvLSCStore   EventType = "lsc.store"   // span: image set → shared storage
+	EvLSCRestore EventType = "lsc.restore" // span: staged restore of a generation
+	EvLSCCommit  EventType = "lsc.commit"
+	EvLSCAbort   EventType = "lsc.abort"
+
+	// Pre-copy live migration (internal/core).
+	EvLiveMigrate EventType = "live.migrate" // span: start → switch-over
+	EvLiveRound   EventType = "live.round"   // one pre-copy round of one domain
+
+	// Transport (internal/tcp).
+	EvTCPRetransmit EventType = "tcp.retransmit"
+	EvTCPRTOBackoff EventType = "tcp.rto-backoff"
+	EvTCPReset      EventType = "tcp.reset"
+
+	// Resource manager (internal/rm).
+	EvRMSubmit   EventType = "rm.submit"
+	EvRMSchedule EventType = "rm.schedule"
+	EvRMDispatch EventType = "rm.dispatch"
+	EvRMComplete EventType = "rm.complete"
+	EvRMRequeue  EventType = "rm.requeue"
+	EvRMFail     EventType = "rm.fail"
+
+	// Interconnect (internal/netsim).
+	EvNetDrop EventType = "net.drop"
+
+	// Kernel probe (obs.StartKernelProbe): counter samples.
+	EvSimProbe EventType = "sim.probe"
+)
+
+// Record phases, mirroring the Chrome trace_events phase letter.
+const (
+	PhaseInstant byte = 'i' // point event
+	PhaseBegin   byte = 'B' // span begin
+	PhaseEnd     byte = 'E' // span end
+	PhaseCounter byte = 'C' // counter sample
+)
+
+// KV is one ordered attribute. Attribute order is part of the trace's
+// byte identity, so attributes are a slice, never a map.
+type KV struct {
+	K, V string
+}
+
+// Str builds a string attribute.
+func Str(k, v string) KV { return KV{k, v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) KV { return KV{k, strconv.FormatInt(v, 10)} }
+
+// Uint builds an unsigned integer attribute.
+func Uint(k string, v uint64) KV { return KV{k, strconv.FormatUint(v, 10)} }
+
+// Float builds a float attribute (shortest round-trip formatting, so the
+// bytes are a pure function of the value).
+func Float(k string, v float64) KV { return KV{k, strconv.FormatFloat(v, 'g', -1, 64)} }
+
+// Dur builds a duration attribute in integer nanoseconds of virtual time.
+func Dur(k string, t sim.Time) KV { return KV{k, strconv.FormatInt(int64(t), 10)} }
+
+// Record is one trace entry: an instant event, a span boundary, or a
+// counter sample. Records are immutable once appended.
+type Record struct {
+	Seq  uint64   // emission order, dense from 0
+	TS   sim.Time // virtual time supplied by the instrumented component
+	Ph   byte     // PhaseInstant | PhaseBegin | PhaseEnd | PhaseCounter
+	Type EventType
+	Node string // physical node id; "" = site-level
+	Dom  string // VM/domain (or VC/job) name; "" = node-level
+	Name string // short human label ("pause", "epoch", ...)
+
+	// Span identifies begin/end pairs: a Begin record carries its own
+	// Seq here; the matching End record carries the Begin's Seq.
+	Span uint64
+
+	// Value is the sample for PhaseCounter records.
+	Value float64
+
+	Attrs []KV
+}
+
+// SpanID refers to an open span. The zero SpanID is inert: Ending it is
+// a no-op, which is what Begin on a disabled tracer returns.
+type SpanID uint64
+
+// Tracer records events and spans in emission order. It is single-
+// threaded like the simulation kernel it observes; a nil *Tracer is the
+// disabled tracer and every method no-ops.
+type Tracer struct {
+	recs []Record
+	reg  *Registry
+}
+
+// NewTracer creates an enabled tracer with an empty registry.
+func NewTracer() *Tracer { return &Tracer{reg: NewRegistry()} }
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Registry returns the tracer's metric registry (nil when disabled).
+func (t *Tracer) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Records returns the recorded entries in emission order. The slice is
+// shared; callers must not mutate it.
+func (t *Tracer) Records() []Record {
+	if t == nil {
+		return nil
+	}
+	return t.recs
+}
+
+// Len reports how many records have been emitted.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.recs)
+}
+
+// Emit records an instant event at virtual time ts.
+func (t *Tracer) Emit(ts sim.Time, typ EventType, node, dom, name string, kv ...KV) {
+	if t == nil {
+		return
+	}
+	t.append(Record{TS: ts, Ph: PhaseInstant, Type: typ, Node: node, Dom: dom, Name: name, Attrs: cloneKV(kv)})
+}
+
+// Begin opens a span at ts and returns its id for End. Spans nest
+// naturally: inner Begin/End pairs sit inside outer ones on the same
+// (node, dom) timeline.
+func (t *Tracer) Begin(ts sim.Time, typ EventType, node, dom, name string, kv ...KV) SpanID {
+	if t == nil {
+		return 0
+	}
+	seq := t.append(Record{TS: ts, Ph: PhaseBegin, Type: typ, Node: node, Dom: dom, Name: name, Attrs: cloneKV(kv)})
+	t.recs[len(t.recs)-1].Span = seq
+	return SpanID(len(t.recs)) // index+1, so the zero SpanID stays inert
+}
+
+// End closes a span opened by Begin, copying its identity so exporters
+// can pair the records without global state.
+func (t *Tracer) End(ts sim.Time, id SpanID, kv ...KV) {
+	if t == nil || id == 0 || int(id) > len(t.recs) {
+		return
+	}
+	b := t.recs[id-1]
+	if b.Ph != PhaseBegin {
+		return
+	}
+	t.append(Record{TS: ts, Ph: PhaseEnd, Type: b.Type, Node: b.Node, Dom: b.Dom, Name: b.Name, Span: b.Seq, Attrs: cloneKV(kv)})
+}
+
+// Counter records a counter sample (a Perfetto counter-track point).
+func (t *Tracer) Counter(ts sim.Time, typ EventType, node, dom, name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.append(Record{TS: ts, Ph: PhaseCounter, Type: typ, Node: node, Dom: dom, Name: name, Value: v})
+}
+
+// Inc adds delta to the named registry counter.
+func (t *Tracer) Inc(name string, delta float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Inc(name, delta)
+}
+
+// Gauge sets the named registry gauge.
+func (t *Tracer) Gauge(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Set(name, v)
+}
+
+// Observe adds an observation to the named registry histogram.
+func (t *Tracer) Observe(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.reg.Observe(name, v)
+}
+
+// append assigns the next sequence number and stores the record.
+func (t *Tracer) append(r Record) uint64 {
+	r.Seq = uint64(len(t.recs))
+	t.recs = append(t.recs, r)
+	return r.Seq
+}
+
+// cloneKV copies the caller's attribute list so the variadic slice never
+// escapes at call sites (keeping the disabled path allocation-free).
+func cloneKV(kv []KV) []KV {
+	if len(kv) == 0 {
+		return nil
+	}
+	return append([]KV(nil), kv...)
+}

@@ -19,6 +19,7 @@ import (
 	"dvc/internal/guest"
 	"dvc/internal/mpi"
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
@@ -153,6 +154,7 @@ type RM struct {
 
 	tickHandle sim.Handle
 	stopped    bool
+	tracer     *obs.Tracer
 }
 
 // New creates a resource manager. mgr and coord may be nil for the
@@ -182,6 +184,16 @@ func (r *RM) Stop() {
 	r.tickHandle.Cancel()
 }
 
+// SetTracer attaches an observability tracer (nil disables tracing). Job
+// lifecycle transitions become rm.* events with the job id as the trace
+// domain; native host stacks started by the physical backend inherit it.
+func (r *RM) SetTracer(t *obs.Tracer) { r.tracer = t }
+
+// trace emits one site-level job event.
+func (r *RM) trace(typ obs.EventType, jobID, name string, kv ...obs.KV) {
+	r.tracer.Emit(r.kernel.Now(), typ, "", jobID, name, kv...)
+}
+
 // SubmitTrace schedules a whole trace for submission at each job's
 // arrival time. Jobs not yet arrived count against AllDone.
 func (r *RM) SubmitTrace(trace []workload.JobSpec) {
@@ -199,6 +211,8 @@ func (r *RM) SubmitTrace(trace []workload.JobSpec) {
 func (r *RM) Submit(spec workload.JobSpec) {
 	j := &Job{Spec: spec, State: Queued, SubmitAt: r.kernel.Now(), lastGoodGen: -1}
 	r.queue = append(r.queue, j)
+	r.trace(obs.EvRMSubmit, spec.ID, "submit", obs.Int("width", int64(spec.Width)))
+	r.tracer.Inc("rm.submitted", 1)
 }
 
 // Jobs returns every job the RM has seen (done + running + queued).
@@ -351,6 +365,8 @@ func (r *RM) start(j *Job, nodes []*phys.Node) {
 	}
 	r.claim(j, append([]*phys.Node(nil), nodes...))
 	r.running = append(r.running, j)
+	r.trace(obs.EvRMSchedule, j.Spec.ID, "schedule",
+		obs.Int("attempt", int64(j.Attempt)), obs.Int("width", int64(j.Spec.Width)))
 	if r.cfg.Backend == Physical {
 		r.startPhysical(j)
 	} else {
@@ -366,9 +382,11 @@ func (r *RM) startPhysical(j *Job) {
 	for i, n := range j.nodes {
 		addrs[i] = netsim.Addr(fmt.Sprintf("%s-a%d-r%d", j.Spec.ID, j.Attempt, i))
 		j.oses[i], j.ports[i] = vm.NativeOS(r.kernel, r.site.Fabric, n, addrs[i], tcp.DefaultConfig(), guest.WatchdogConfig{})
+		j.oses[i].Stack().SetTracer(r.tracer, n.ID(), string(addrs[i]))
 	}
 	j.pids = mpi.Launch(j.oses, 7000, func(int) mpi.App { return workload.NewBSPApp(j.Spec.Work) })
 	j.State = Running
+	r.trace(obs.EvRMDispatch, j.Spec.ID, "dispatch", obs.Str("backend", "physical"))
 }
 
 // startDVC allocates a virtual cluster and launches the app inside it.
@@ -383,6 +401,7 @@ func (r *RM) startDVC(j *Job) {
 			return
 		}
 		j.State = Running
+		r.trace(obs.EvRMDispatch, j.Spec.ID, "dispatch", obs.Str("backend", "dvc"), obs.Str("vc", vcName))
 		r.startPeriodicFor(j)
 	})
 	if err != nil {
@@ -443,6 +462,8 @@ func (r *RM) reapPhysical(j *Job) {
 		j.EndAt = r.kernel.Now()
 		r.unclaim(j)
 		r.done = append(r.done, j)
+		r.trace(obs.EvRMComplete, j.Spec.ID, "complete", obs.Dur("turnaround", j.Turnaround()))
+		r.tracer.Inc("rm.completed", 1)
 	}
 }
 
@@ -544,6 +565,8 @@ func (r *RM) reapDVC(j *Job) {
 				j.State = Completed
 				j.EndAt = r.kernel.Now()
 				r.done = append(r.done, j)
+				r.trace(obs.EvRMComplete, j.Spec.ID, "complete", obs.Dur("turnaround", j.Turnaround()))
+				r.tracer.Inc("rm.completed", 1)
 			} else {
 				j.WastedTime += r.kernel.Now() - j.attemptAt
 				r.finishAttempt(j, false)
@@ -592,9 +615,13 @@ func (r *RM) finishAttempt(j *Job, ok bool) {
 		j.State = Queued
 		j.lastGoodGen = -1
 		r.queue = append(r.queue, j)
+		r.trace(obs.EvRMRequeue, j.Spec.ID, "requeue", obs.Int("attempt", int64(j.Attempt)))
+		r.tracer.Inc("rm.requeues", 1)
 		return
 	}
 	j.State = Failed
 	j.EndAt = r.kernel.Now()
 	r.done = append(r.done, j)
+	r.trace(obs.EvRMFail, j.Spec.ID, "fail", obs.Int("attempts", int64(j.Attempt)))
+	r.tracer.Inc("rm.failed", 1)
 }

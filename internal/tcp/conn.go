@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -251,6 +252,15 @@ func (c *Conn) onTimeout() {
 	c.rto *= 2
 	if c.rto > c.stack.cfg.MaxRTO {
 		c.rto = c.stack.cfg.MaxRTO
+	}
+	if tr := c.stack.tracer; tr != nil {
+		now := c.now()
+		tr.Emit(now, obs.EvTCPRetransmit, c.stack.trNode, c.stack.trDom, "rexmit",
+			obs.Str("conn", c.key.String()), obs.Int("retry", int64(c.retries)))
+		tr.Emit(now, obs.EvTCPRTOBackoff, c.stack.trNode, c.stack.trDom, "rto-backoff",
+			obs.Str("conn", c.key.String()), obs.Dur("rto", c.rto))
+		tr.Inc("tcp.retransmits", 1)
+		tr.Observe("tcp.rto_ms", float64(c.rto)/1e6)
 	}
 	c.retransmitHead()
 	c.armTimer(c.rto)
@@ -539,6 +549,15 @@ func (c *Conn) teardown(state State, err error) {
 	}
 	if state == StateReset {
 		c.stack.resets++
+		if tr := c.stack.tracer; tr != nil {
+			why := "peer-rst"
+			if err == ErrTimeout {
+				why = "retry-budget"
+			}
+			tr.Emit(c.now(), obs.EvTCPReset, c.stack.trNode, c.stack.trDom, "reset",
+				obs.Str("conn", c.key.String()), obs.Str("why", why))
+			tr.Inc("tcp.resets", 1)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -28,6 +29,13 @@ type Stack struct {
 	nextPort  uint16
 	frozen    bool
 	resets    uint64
+
+	// Observability. The tracer is not part of the snapshot: the owner
+	// (vm/rm layer) re-attaches it after a restore, exactly like the
+	// connection callbacks.
+	tracer *obs.Tracer
+	trNode string // hosting physical node id
+	trDom  string // owning VM/domain name ("" for a native host stack)
 
 	// SegmentsSent/SegmentsRcvd count transport activity for experiments.
 	SegmentsSent uint64
@@ -61,6 +69,16 @@ func (s *Stack) Resets() uint64 { return s.resets }
 
 // Frozen reports whether the stack is currently frozen.
 func (s *Stack) Frozen() bool { return s.frozen }
+
+// SetTracer attaches an observability tracer and this stack's identity on
+// the trace timeline (node = hosting physical node, dom = VM name). A nil
+// tracer disables tracing. Like connection callbacks, the tracer does not
+// travel with snapshots — the restoring owner re-attaches it.
+func (s *Stack) SetTracer(t *obs.Tracer, node, dom string) {
+	s.tracer = t
+	s.trNode = node
+	s.trDom = dom
+}
 
 // Listen registers a listener on port. It panics on a duplicate listen:
 // port allocation is static in this simulation.

@@ -18,6 +18,7 @@ import (
 
 	"dvc/internal/guest"
 	"dvc/internal/netsim"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
@@ -163,6 +164,8 @@ func (d *Domain) Pause() error {
 	d.pausedAt = d.hv.kernel.Now()
 	d.os.Freeze()
 	d.port.SetUp(false)
+	d.hv.trace(obs.EvVMPause, d.name, "pause")
+	d.hv.tracer.Inc("vm.pauses", 1)
 	return nil
 }
 
@@ -174,6 +177,9 @@ func (d *Domain) Unpause() error {
 	d.state = StateRunning
 	d.port.SetUp(true)
 	d.os.Thaw()
+	d.hv.trace(obs.EvVMUnpause, d.name, "unpause",
+		obs.Dur("paused_ns", d.hv.kernel.Now()-d.pausedAt))
+	d.hv.tracer.Inc("vm.unpauses", 1)
 	return nil
 }
 
@@ -189,6 +195,8 @@ func (d *Domain) CaptureImage() (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vm: capture %s: %w", d.name, err)
 	}
+	d.hv.trace(obs.EvVMSave, d.name, "save", obs.Int("ram", d.ram))
+	d.hv.tracer.Inc("vm.saves", 1)
 	return &Image{
 		DomainName: d.name,
 		Addr:       d.addr,
@@ -212,6 +220,7 @@ func (d *Domain) Destroy() {
 	}
 	d.state = StateDestroyed
 	delete(d.hv.domains, d.name)
+	d.hv.trace(obs.EvVMDestroy, d.name, "destroy")
 }
 
 // Hypervisor is the per-node VMM.
@@ -222,6 +231,7 @@ type Hypervisor struct {
 	cfg     XenConfig
 	tcpCfg  tcp.Config
 	domains map[string]*Domain
+	tracer  *obs.Tracer
 }
 
 // NewHypervisor installs a hypervisor on a node. If the node crashes, all
@@ -241,6 +251,16 @@ func NewHypervisor(k *sim.Kernel, fabric *netsim.Fabric, node *phys.Node, cfg Xe
 
 // SetTCPConfig overrides the transport configuration given to new guests.
 func (h *Hypervisor) SetTCPConfig(cfg tcp.Config) { h.tcpCfg = cfg }
+
+// SetTracer attaches an observability tracer (nil disables tracing).
+// Domain lifecycle transitions become vm.* events on the (node, domain)
+// timeline, and new/restored guest stacks inherit the tracer.
+func (h *Hypervisor) SetTracer(t *obs.Tracer) { h.tracer = t }
+
+// trace emits one domain-lifecycle instant event.
+func (h *Hypervisor) trace(typ obs.EventType, dom, name string, kv ...obs.KV) {
+	h.tracer.Emit(h.kernel.Now(), typ, h.node.ID(), dom, name, kv...)
+}
 
 // Node returns the hosting node.
 func (h *Hypervisor) Node() *phys.Node { return h.node }
@@ -303,11 +323,13 @@ func (h *Hypervisor) CreateDomain(name string, addr netsim.Addr, ram int64, wd g
 			return
 		}
 		stack := tcp.NewStack(h.kernel, h.fabric, addr, h.tcpCfg)
+		stack.SetTracer(h.tracer, h.node.ID(), name)
 		d.port = h.fabric.Attach(addr, h.node.Cluster(), stack.Deliver)
 		d.port.ExtraLatency = h.cfg.NetExtraLatency
 		d.port.BandwidthFactor = h.cfg.NetBandwidthFactor
 		d.os = guest.New(h.kernel, stack, h.node.Clock().Read, h.cfg.CPUOverhead, wd)
 		d.state = StateRunning
+		h.trace(obs.EvVMBoot, name, "boot", obs.Int("ram", ram))
 		if onReady != nil {
 			onReady(d)
 		}
@@ -338,12 +360,15 @@ func (h *Hypervisor) RestoreDomain(img *Image, wallClockOverride func() sim.Time
 		wall = h.node.Clock().Read
 	}
 	os := guest.Restore(h.kernel, h.fabric, snap, wall, h.cfg.CPUOverhead)
+	os.Stack().SetTracer(h.tracer, h.node.ID(), img.DomainName)
 	d := &Domain{name: img.DomainName, addr: img.Addr, ram: img.RAMBytes, hv: h, os: os, state: StatePaused}
 	d.port = h.fabric.Attach(img.Addr, h.node.Cluster(), os.Stack().Deliver)
 	d.port.ExtraLatency = h.cfg.NetExtraLatency
 	d.port.BandwidthFactor = h.cfg.NetBandwidthFactor
 	d.port.SetUp(false)
 	h.domains[img.DomainName] = d
+	h.trace(obs.EvVMRestore, img.DomainName, "restore", obs.Int("ram", img.RAMBytes))
+	h.tracer.Inc("vm.restores", 1)
 	return d, nil
 }
 
