@@ -4,12 +4,17 @@
 //
 //	dvcsim -list
 //	dvcsim -exp E1 [-seed 42] [-trials 20]
-//	dvcsim -exp all [-full]
+//	dvcsim -exp all [-full] [-parallel 8]
 //	dvcsim -exp E2 -trials 1 -trace e2.jsonl -perfetto e2.json
 //
 // Each experiment prints its table(s) followed by PASS/FAIL shape checks
 // against the paper's reported results. The exit status is non-zero if
 // any check fails.
+//
+// Independent trials fan out across a worker pool (-parallel; default one
+// worker per core). Every table, check and trace byte is identical for
+// any -parallel value — only wall-clock time changes. -cpuprofile and
+// -memprofile write pprof profiles of the run.
 //
 // With -trace or -perfetto a deterministic event trace of the run is
 // recorded (same seed, same flags => byte-identical JSONL) and written as
@@ -24,32 +29,70 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dvc"
 )
 
-func main() {
+// main delegates to run so deferred profile writers execute before the
+// process exits with run's status code.
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment id (E1..E14, A1, A2) or \"all\"")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		trials   = flag.Int("trials", 0, "trial count for statistical experiments (0 = default)")
 		full     = flag.Bool("full", false, "paper-scale parameters (slow: E2 runs >2000 trials)")
+		parallel = flag.Int("parallel", 0, "worker pool size for independent trials (0 = one per core, 1 = serial); output is identical for any value")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
 		traceOut = flag.String("trace", "", "write a deterministic JSONL event trace to this file")
 		perfOut  = flag.String("perfetto", "", "write a Chrome/Perfetto trace_events JSON to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvcsim:", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dvcsim:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		dvc.WriteBanner(os.Stdout)
 		for _, id := range dvc.ExperimentIDs() {
 			fmt.Printf("  %-4s %s\n", id, dvc.ExperimentTitle(id))
 		}
-		return
+		return 0
 	}
 
-	opts := dvc.ExperimentOptions{Seed: *seed, Trials: *trials, Full: *full, Out: os.Stdout}
+	opts := dvc.ExperimentOptions{Seed: *seed, Trials: *trials, Full: *full, Parallel: *parallel, Out: os.Stdout}
 	if *jsonOut {
 		opts.Out = nil // tables land in the JSON document instead
 	} else {
@@ -66,13 +109,13 @@ func main() {
 	if *exp == "all" {
 		all, err := dvc.RunAllExperiments(opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		results = all
 	} else {
 		res, err := dvc.RunExperiment(*exp, opts)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		results = append(results, res)
 	}
@@ -80,12 +123,12 @@ func main() {
 	if tracer != nil {
 		if *traceOut != "" {
 			if err := writeFile(*traceOut, tracer.WriteJSONL); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 		if *perfOut != "" {
 			if err := writeFile(*perfOut, tracer.WritePerfetto); err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 		if !*jsonOut {
@@ -114,16 +157,17 @@ func main() {
 			err = enc.Encode(results)
 		}
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "dvcsim: %d shape check(s) FAILED\n", failed)
-		os.Exit(1)
+		return 1
 	}
 	if !*jsonOut {
 		fmt.Println("dvcsim: all shape checks passed")
 	}
+	return 0
 }
 
 // writeFile writes one exporter's output to path.
@@ -139,7 +183,7 @@ func writeFile(path string, write func(io.Writer) error) error {
 	return f.Close()
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dvcsim:", err)
-	os.Exit(2)
+	return 2
 }

@@ -223,13 +223,13 @@ func (s *Simulation) Site() *phys.Site { return s.site }
 // until it is ready.
 func (s *Simulation) Allocate(spec VCSpec) (*VirtualCluster, error) {
 	ready := false
-	vc, err := s.mgr.Allocate(spec, func(*core.VirtualCluster) { ready = true })
+	vc, err := s.mgr.Allocate(spec, func(*core.VirtualCluster) { ready = true; s.kernel.Halt() })
 	if err != nil {
 		return nil, err
 	}
 	deadline := s.kernel.Now() + 10*Minute
 	for !ready && s.kernel.Now() < deadline {
-		s.kernel.RunFor(Second)
+		s.kernel.RunUntil(deadline)
 	}
 	if !ready {
 		return nil, fmt.Errorf("dvc: %s did not become ready", spec.Name)
@@ -250,12 +250,12 @@ func (s *Simulation) MustAllocate(spec VCSpec) *VirtualCluster {
 // simulation until it completes.
 func (s *Simulation) Checkpoint(vc *VirtualCluster) (*CheckpointResult, error) {
 	var res *CheckpointResult
-	if err := s.co.Checkpoint(vc, func(r *core.CheckpointResult) { res = r }); err != nil {
+	if err := s.co.Checkpoint(vc, func(r *core.CheckpointResult) { res = r; s.kernel.Halt() }); err != nil {
 		return nil, err
 	}
 	deadline := s.kernel.Now() + Hour
 	for res == nil && s.kernel.Now() < deadline {
-		s.kernel.RunFor(Second)
+		s.kernel.RunUntil(deadline)
 	}
 	if res == nil {
 		return nil, fmt.Errorf("dvc: checkpoint of %s never completed", vc.Name())
@@ -279,12 +279,12 @@ func (s *Simulation) MustCheckpoint(vc *VirtualCluster) *CheckpointResult {
 // the simulation until it completes.
 func (s *Simulation) Migrate(vc *VirtualCluster, targets []*Node) (*CheckpointResult, error) {
 	var res *CheckpointResult
-	if err := s.co.Migrate(vc, targets, func(r *core.CheckpointResult) { res = r }); err != nil {
+	if err := s.co.Migrate(vc, targets, func(r *core.CheckpointResult) { res = r; s.kernel.Halt() }); err != nil {
 		return nil, err
 	}
 	deadline := s.kernel.Now() + Hour
 	for res == nil && s.kernel.Now() < deadline {
-		s.kernel.RunFor(Second)
+		s.kernel.RunUntil(deadline)
 	}
 	if res == nil {
 		return nil, fmt.Errorf("dvc: migration of %s never completed", vc.Name())
@@ -298,12 +298,12 @@ func (s *Simulation) Migrate(vc *VirtualCluster, targets []*Node) (*CheckpointRe
 // fraction of Migrate's stop-and-copy.
 func (s *Simulation) LiveMigrate(vc *VirtualCluster, targets []*Node, cfg LiveConfig) (*LiveMigrationResult, error) {
 	var res *LiveMigrationResult
-	if err := s.co.LiveMigrate(vc, targets, cfg, func(r *core.LiveMigrationResult) { res = r }); err != nil {
+	if err := s.co.LiveMigrate(vc, targets, cfg, func(r *core.LiveMigrationResult) { res = r; s.kernel.Halt() }); err != nil {
 		return nil, err
 	}
 	deadline := s.kernel.Now() + Hour
 	for res == nil && s.kernel.Now() < deadline {
-		s.kernel.RunFor(Second)
+		s.kernel.RunUntil(deadline)
 	}
 	if res == nil {
 		return nil, fmt.Errorf("dvc: live migration of %s never completed", vc.Name())
@@ -319,10 +319,10 @@ func DefaultLiveConfig() LiveConfig { return core.DefaultLiveConfig() }
 // if remnants are still running.
 func (s *Simulation) Recover(vc *VirtualCluster, generation int, targets []*Node) (*RestoreResult, error) {
 	var res *RestoreResult
-	s.co.RestoreVC(vc, generation, targets, func(r *core.RestoreResult) { res = r })
+	s.co.RestoreVC(vc, generation, targets, func(r *core.RestoreResult) { res = r; s.kernel.Halt() })
 	deadline := s.kernel.Now() + Hour
 	for res == nil && s.kernel.Now() < deadline {
-		s.kernel.RunFor(Second)
+		s.kernel.RunUntil(deadline)
 	}
 	if res == nil {
 		return nil, fmt.Errorf("dvc: recovery of %s never completed", vc.Name())
@@ -346,16 +346,31 @@ func (s *Simulation) PruneCheckpoints(vc *VirtualCluster, keep int) int {
 
 // RunUntilJobDone advances the simulation until the VC's job finishes
 // (all processes exited) or limit elapses, returning the final status.
+// The wait is event-driven: every guest process exit halts the kernel,
+// so the simulation stops at the exact completion instant instead of
+// the next one-second poll boundary.
 func (s *Simulation) RunUntilJobDone(vc *VirtualCluster, limit Time) JobStatus {
 	deadline := s.kernel.Now() + limit
-	for s.kernel.Now() < deadline {
+	notify := func(fn func()) {
+		for _, os := range vc.OSes() {
+			if os != nil {
+				os.SetExitNotify(fn)
+			}
+		}
+	}
+	defer notify(nil)
+	for {
 		js := vc.JobStatus()
 		if js.Done() && vc.State() == core.VCReady {
 			return js
 		}
-		s.kernel.RunFor(Second)
+		if s.kernel.Now() >= deadline {
+			return vc.JobStatus()
+		}
+		// Re-arm each pass: a restore mid-wait replaces the guest OSes.
+		notify(s.kernel.Halt)
+		s.kernel.RunUntil(deadline)
 	}
-	return vc.JobStatus()
 }
 
 // FreeNodes returns healthy nodes of a cluster (all clusters if name is

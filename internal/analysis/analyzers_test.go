@@ -34,6 +34,9 @@ func TestScoping(t *testing.T) {
 	if analysis.IsSimPackage("dvc/cmd/dvcsim") {
 		t.Error("cmd/ must not be a sim package (wall-clock allowlist)")
 	}
+	if analysis.IsSimPackage("dvc/internal/fleet") {
+		t.Error("internal/fleet is the sanctioned concurrency package and must not be a sim package (see simPackages in rules.go)")
+	}
 	if got := len(analysis.AnalyzersFor("dvc/internal/core")); got != 5 {
 		t.Errorf("sim packages get all 5 analyzers, got %d", got)
 	}

@@ -22,6 +22,24 @@ func ByName(name string) *Analyzer {
 // strict analyzers — nowallclock and noconcurrency — apply only here;
 // cmd/ CLIs and examples/ may legitimately read the host clock to report
 // progress to a human.
+//
+// dvc/internal/fleet is DELIBERATELY absent: it is the single sanctioned
+// concurrency package in the module — the bounded worker pool that fans
+// independent trials across cores. The sanction rests on two structural
+// properties fleet's API enforces and `go test -race ./...` checks:
+//
+//  1. Kernels never cross goroutines. Each trial closure builds its own
+//     sim.Kernel (and everything hanging off it) and tears it down before
+//     returning; no simulation object is ever shared between workers.
+//  2. Results merge in index order. fleet.Map returns results indexed by
+//     trial number, and all aggregation happens on the caller's goroutine
+//     after Map returns — so tables, checks and spliced traces are
+//     byte-identical to a serial loop regardless of worker count.
+//
+// Any other concurrency belongs in fleet or nowhere. Do not add fleet to
+// this map (noconcurrency would reject its own implementation), and do
+// not copy its worker-pool idiom into a simulation package (the
+// noconcurrency fixture proves that shape is still flagged there).
 var simPackages = map[string]bool{
 	"dvc":                   true, // library facade (dvc.go, rm.go)
 	"dvc/internal/sim":      true,

@@ -1,0 +1,34 @@
+// Fixture: the bounded worker-pool idiom — goroutine fan-out over an
+// atomic work-index with a WaitGroup barrier — is exactly what
+// dvc/internal/fleet implements, and fleet is the ONE package sanctioned
+// to do it (it is deliberately absent from the simPackages map in
+// rules.go). The same shape written inside a simulation package must
+// still be flagged: a kernel touched from a worker goroutine is a
+// determinism bug no seed can fix.
+package noconcurrency
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func badWorkerPool(n int) []int {
+	out := make([]int, n)
+	var next atomic.Int64 // want `use of atomic\.Int64 in deterministic core`
+	var wg sync.WaitGroup // want `use of sync\.WaitGroup in deterministic core`
+	for w := 0; w < 4; w++ {
+		wg.Add(1)   // want `use of sync\.Add in deterministic core`
+		go func() { // want `go statement in deterministic core`
+			defer wg.Done() // want `use of sync\.Done in deterministic core`
+			for {
+				i := int(next.Add(1)) - 1 // want `use of atomic\.Add in deterministic core`
+				if i >= n {
+					return
+				}
+				out[i] = i * i
+			}
+		}()
+	}
+	wg.Wait() // want `use of sync\.Wait in deterministic core`
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"dvc/internal/hpcc"
 	"dvc/internal/metrics"
 	"dvc/internal/mpi"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
 )
@@ -65,29 +66,58 @@ func runA1(opts Options) *Result {
 
 	tbl := metrics.NewTable(fmt.Sprintf("A1: naive LSC failure at %d nodes vs TCP retry budget", nodes),
 		"max-retries", "retry budget", "naive fail%", "ntp fail%")
-	failAt := map[int]float64{}
-	for _, retries := range []int{2, 4, 6} {
+	// Flatten the (retries, trial) × {naive, ntp} matrix into one trial
+	// list in serial emission order — for each budget, for each trial,
+	// naive then ntp — and fan it across the fleet pool. Each budget's
+	// tcp.Config lives once and is shared read-only by its trial closures.
+	retriesList := []int{2, 4, 6}
+	type a1Spec struct {
+		seed int64
+		o    bedOptions
+	}
+	var specs []a1Spec
+	budgets := make([]sim.Time, len(retriesList))
+	for ri, retries := range retriesList {
 		cfg := tcp.DefaultConfig()
 		cfg.MaxRetries = retries
-		budget := cfg.RetryBudget(cfg.InitialRTO)
-		naiveFails, ntpFails := 0, 0
+		budgets[ri] = cfg.RetryBudget(cfg.InitialRTO)
 		for trial := 0; trial < trials; trial++ {
-			o := bedOptions{
-				clusters: map[string]int{"alpha": nodes},
-				lsc:      core.DefaultNaiveLSC(),
-				tcpCfg:   &cfg,
-			}
-			if !lscTrialWith(opts.Seed+int64(retries*1000+trial), nodes, o).ok {
+			specs = append(specs, a1Spec{
+				seed: opts.Seed + int64(retries*1000+trial),
+				o: bedOptions{
+					clusters: map[string]int{"alpha": nodes},
+					lsc:      core.DefaultNaiveLSC(),
+					tcpCfg:   &cfg,
+				},
+			})
+			specs = append(specs, a1Spec{
+				seed: opts.Seed + int64(retries*1000+trial+500),
+				o: bedOptions{
+					clusters: map[string]int{"alpha": nodes},
+					lsc:      core.DefaultNTPLSC(),
+					ntp:      true,
+					tcpCfg:   &cfg,
+				},
+			})
+		}
+	}
+	outs := forEachTrial(opts, len(specs), func(i int, _ *obs.Tracer) lscTrialResult {
+		return lscTrialWith(specs[i].seed, nodes, specs[i].o)
+	})
+	failAt := map[int]float64{}
+	for ri, retries := range retriesList {
+		naiveFails, ntpFails := 0, 0
+		base := ri * 2 * trials
+		for trial := 0; trial < trials; trial++ {
+			if !outs[base+2*trial].ok {
 				naiveFails++
 			}
-			o.lsc = core.DefaultNTPLSC()
-			o.ntp = true
-			if !lscTrialWith(opts.Seed+int64(retries*1000+trial+500), nodes, o).ok {
+			if !outs[base+2*trial+1].ok {
 				ntpFails++
 			}
 		}
 		failAt[retries] = pct(naiveFails, trials)
-		tbl.Row(retries, budget, failAt[retries], pct(ntpFails, trials))
+		tbl.Row(retries, budgets[ri], failAt[retries], pct(ntpFails, trials))
 	}
 	res.table(tbl, opts.out())
 
@@ -119,11 +149,18 @@ func runA2(opts Options) *Result {
 		800 * sim.Millisecond,  // barely disciplined
 		2 * sim.Second,         // effectively unsynchronised
 	}
+	// Flatten the (residual, trial) sweep and fan it across the fleet
+	// pool; each residual's NTP config lives once and is shared read-only
+	// by its trial closures. Aggregation walks the results in the serial
+	// loop's order, so the table is identical at any Options.Parallel.
+	type a2Spec struct {
+		seed int64
+		o    bedOptions
+	}
+	var specs []a2Spec
 	for _, residual := range residuals {
 		ntpCfg := clock.DefaultNTPConfig()
 		ntpCfg.ResidualStd = residual
-		failures := 0
-		var skew metrics.Sample
 		for trial := 0; trial < trials; trial++ {
 			o := bedOptions{
 				clusters: map[string]int{"alpha": nodes},
@@ -133,7 +170,16 @@ func runA2(opts Options) *Result {
 			}
 			// The save instant must sit beyond the worst clock error.
 			o.lsc.ScheduleLead = 2*sim.Second + 8*residual
-			r := lscTrialWith(opts.Seed+int64(residual)+int64(trial), nodes, o)
+			specs = append(specs, a2Spec{seed: opts.Seed + int64(residual) + int64(trial), o: o})
+		}
+	}
+	outs := forEachTrial(opts, len(specs), func(i int, _ *obs.Tracer) lscTrialResult {
+		return lscTrialWith(specs[i].seed, nodes, specs[i].o)
+	})
+	for ri, residual := range residuals {
+		failures := 0
+		var skew metrics.Sample
+		for _, r := range outs[ri*trials : (ri+1)*trials] {
 			if !r.ok {
 				failures++
 			}

@@ -5,6 +5,7 @@ import (
 
 	"dvc/internal/core"
 	"dvc/internal/metrics"
+	"dvc/internal/obs"
 	"dvc/internal/tcp"
 )
 
@@ -30,11 +31,18 @@ func runE1(opts Options) *Result {
 	tbl := metrics.NewTable("E1: naive LSC failure rate (TCP retry budget "+budget.String()+")",
 		"nodes", "trials", "failures", "fail%", "skew.mean", "skew.max")
 	failPct := map[int]float64{}
-	for _, n := range []int{2, 4, 6, 8, 10, 12} {
+	sizes := []int{2, 4, 6, 8, 10, 12}
+	// One flat (size, trial) fleet: every trial is an independent kernel,
+	// so the whole sweep fans across the pool; aggregation below walks the
+	// results in the exact order of the old nested serial loop.
+	results := forEachTrial(opts, len(sizes)*trials, func(i int, _ *obs.Tracer) lscTrialResult {
+		n, trial := sizes[i/trials], i%trials
+		return lscTrial(opts.Seed+int64(1000*n+trial), n, lsc, false)
+	})
+	for si, n := range sizes {
 		failures := 0
 		var skew metrics.Sample
-		for trial := 0; trial < trials; trial++ {
-			r := lscTrial(opts.Seed+int64(1000*n+trial), n, lsc, false)
+		for _, r := range results[si*trials : (si+1)*trials] {
 			if !r.ok {
 				failures++
 			}

@@ -6,6 +6,7 @@ import (
 	"dvc/internal/core"
 	"dvc/internal/guest"
 	"dvc/internal/metrics"
+	"dvc/internal/obs"
 	"dvc/internal/sim"
 )
 
@@ -37,39 +38,70 @@ func runE10(opts Options) *Result {
 	tbl := metrics.NewTable(fmt.Sprintf("E10: checkpoint-set success vs size (per-VM sleeper failure %.1f%%)", 100*sleeperFail),
 		"VMs", "analytic (1-p)^n", "no health-check", "health-check", "mean attempts")
 
-	run := func(n int, health bool, seed int64) (ok int, attempts float64) {
+	sizes := []int{26, 64, 128, 256}
+	if opts.Full {
+		sizes = append(sizes, 512, 1024)
+	}
+	// Flatten the (size, health, trial) sweep into one trial list in the
+	// serial emission order — for each size, all plain trials then all
+	// health-checked trials — and fan it across the fleet pool. Each trial
+	// is a self-contained bed, so the whole sweep parallelises.
+	type e10Spec struct {
+		n      int
+		health bool
+		seed   int64
+	}
+	type e10Trial struct {
+		ok       bool
+		attempts int
+	}
+	var specs []e10Spec
+	for _, n := range sizes {
 		for trial := 0; trial < trials; trial++ {
-			lsc := core.DefaultNTPLSC()
-			lsc.SleeperFailProb = sleeperFail
-			lsc.HealthCheck = health
-			lsc.HealthRetries = 20
-			b := newBed(seed+int64(trial), map[string]int{"alpha": n}, lsc, true)
-			// Idle VCs: at this scale the coordination failure mode is
-			// independent of guest traffic, and idle guests keep the
-			// sweep tractable.
-			vc := b.allocate("e10", n, guest.WatchdogConfig{})
-			r := b.checkpointOnce(vc, 30*sim.Minute)
-			if r != nil && r.OK {
+			specs = append(specs, e10Spec{n, false, opts.Seed + int64(100000*n) + int64(trial)})
+		}
+		for trial := 0; trial < trials; trial++ {
+			specs = append(specs, e10Spec{n, true, opts.Seed + int64(200000*n) + int64(trial)})
+		}
+	}
+	outs := forEachTrial(opts, len(specs), func(i int, _ *obs.Tracer) e10Trial {
+		s := specs[i]
+		lsc := core.DefaultNTPLSC()
+		lsc.SleeperFailProb = sleeperFail
+		lsc.HealthCheck = s.health
+		lsc.HealthRetries = 20
+		b := newBed(s.seed, map[string]int{"alpha": s.n}, lsc, true)
+		// Idle VCs: at this scale the coordination failure mode is
+		// independent of guest traffic, and idle guests keep the
+		// sweep tractable.
+		vc := b.allocate("e10", s.n, guest.WatchdogConfig{})
+		r := b.checkpointOnce(vc, 30*sim.Minute)
+		out := e10Trial{}
+		if r != nil && r.OK {
+			out.ok = true
+			out.attempts = r.Attempts
+		}
+		vc.Release()
+		return out
+	})
+	tally := func(rs []e10Trial) (ok int, attempts float64) {
+		for _, r := range rs {
+			if r.ok {
 				ok++
-				attempts += float64(r.Attempts)
+				attempts += float64(r.attempts)
 			}
-			vc.Release()
 		}
 		if ok > 0 {
 			attempts /= float64(ok)
 		}
 		return ok, attempts
 	}
-
-	sizes := []int{26, 64, 128, 256}
-	if opts.Full {
-		sizes = append(sizes, 512, 1024)
-	}
 	noHC := map[int]float64{}
 	withHC := map[int]float64{}
-	for _, n := range sizes {
-		okPlain, _ := run(n, false, opts.Seed+int64(100000*n))
-		okHC, att := run(n, true, opts.Seed+int64(200000*n))
+	for si, n := range sizes {
+		base := si * 2 * trials
+		okPlain, _ := tally(outs[base : base+trials])
+		okHC, att := tally(outs[base+trials : base+2*trials])
 		noHC[n] = pct(okPlain, trials)
 		withHC[n] = pct(okHC, trials)
 		analytic := 100 * pow1p(1-sleeperFail, n)

@@ -45,10 +45,14 @@ func runE2(opts Options) *Result {
 		down     metrics.Sample
 	}
 
-	// Bulk trials with continuous halo traffic.
+	// Bulk trials with continuous halo traffic, fanned across the fleet
+	// pool; aggregation walks the results in trial order, so the table —
+	// and with tracing on, the spliced JSONL — is byte-identical to the
+	// serial loop at any Options.Parallel.
 	bulk := row{name: "halo-26", trials: volume}
-	for trial := 0; trial < volume; trial++ {
-		r := lscTrialT(opts.Seed+int64(trial), nodes, lsc, true, opts.Tracer)
+	for _, r := range forEachTrial(opts, volume, func(trial int, tr *obs.Tracer) lscTrialResult {
+		return lscTrialT(opts.Seed+int64(trial), nodes, lsc, true, tr)
+	}) {
 		if !r.ok {
 			bulk.failures++
 		}
@@ -70,29 +74,64 @@ func runE2(opts Options) *Result {
 	if opts.Full {
 		hpccTrials = 10
 	}
-	ptransFail, hplFail := 0, 0
-	var ptransSkew, hplSkew metrics.Sample
-	nPT, nHPL := 0, 0
+	// Flatten the (size, trial) × {PTRANS, HPL} matrix into one trial
+	// list in the serial emission order: for each size, for each trial,
+	// PTRANS then HPL.
+	type hpccSpec struct {
+		seed    int64
+		isPT    bool
+		makeApp func(int) mpi.App
+	}
+	var specs []hpccSpec
 	for _, n := range []int{26, 52} {
 		n := n
 		for trial := 0; trial < hpccTrials; trial++ {
 			trial := trial
 			// PTRANS: ~1200 repetitions keep traffic flowing through the
 			// save instant (the paper's consistency stress).
-			if !hpccLSCTrial(opts.Seed+int64(7000+n+trial), nodes, lsc, true,
-				func(int) mpi.App { return hpcc.NewPTRANS(n, int64(trial), 1200, 0.02) }, &ptransSkew, opts.Tracer) {
-				ptransFail++
-			}
-			nPT++
+			specs = append(specs, hpccSpec{
+				seed: opts.Seed + int64(7000+n+trial),
+				isPT: true,
+				makeApp: func(int) mpi.App {
+					return hpcc.NewPTRANS(n, int64(trial), 1200, 0.02)
+				},
+			})
 			// HPL: pick a compute rate that stretches the factorisation
 			// to ~8 s of simulated time so the checkpoint lands mid-run.
 			hn := 4 * n
 			rate := (2.0 / 3.0 * float64(hn) * float64(hn) * float64(hn) / float64(nodes)) / 8 / 1e9
-			if !hpccLSCTrial(opts.Seed+int64(8000+n+trial), nodes, lsc, true,
-				func(int) mpi.App { return hpcc.NewHPL(hn, int64(trial), rate) }, &hplSkew, opts.Tracer) {
+			specs = append(specs, hpccSpec{
+				seed: opts.Seed + int64(8000+n+trial),
+				makeApp: func(int) mpi.App {
+					return hpcc.NewHPL(hn, int64(trial), rate)
+				},
+			})
+		}
+	}
+	hpccOuts := forEachTrial(opts, len(specs), func(i int, tr *obs.Tracer) hpccTrialResult {
+		return hpccLSCTrial(specs[i].seed, nodes, lsc, true, specs[i].makeApp, tr)
+	})
+	ptransFail, hplFail := 0, 0
+	var ptransSkew, hplSkew metrics.Sample
+	nPT, nHPL := 0, 0
+	for i, out := range hpccOuts {
+		skew := &hplSkew
+		if specs[i].isPT {
+			skew = &ptransSkew
+		}
+		if out.skewValid {
+			skew.AddTime(out.skew)
+		}
+		if specs[i].isPT {
+			nPT++
+			if !out.ok {
+				ptransFail++
+			}
+		} else {
+			nHPL++
+			if !out.ok {
 				hplFail++
 			}
-			nHPL++
 		}
 	}
 	tbl.Row("ptrans", nPT, ptransFail, fmtSeconds(ptransSkew.Mean()), fmtSeconds(ptransSkew.Max()), "-")
@@ -108,38 +147,50 @@ func runE2(opts Options) *Result {
 	return res
 }
 
+// hpccTrialResult reports one verified HPCC trial. The skew is recorded
+// (skewValid) as soon as the checkpoint commits, even when a later stage
+// fails — mirroring the serial loop's sample contents exactly.
+type hpccTrialResult struct {
+	ok        bool
+	skew      sim.Time
+	skewValid bool
+}
+
 // hpccLSCTrial is lscTrial for a verified HPCC workload: checkpoint
 // mid-run, then require successful completion AND numerical verification.
-func hpccLSCTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool, makeApp func(int) mpi.App, skew *metrics.Sample, tr *obs.Tracer) bool {
+// It is self-contained (own kernel, own tracer) so the fleet pool can run
+// many of these concurrently.
+func hpccLSCTrial(seed int64, nodes int, lsc core.LSCConfig, ntp bool, makeApp func(int) mpi.App, tr *obs.Tracer) hpccTrialResult {
 	b := makeBed(seed, bedOptions{clusters: map[string]int{"alpha": nodes}, lsc: lsc, ntp: ntp, tracer: tr})
 	vc := b.allocate("t", nodes, guest.WatchdogConfig{})
 	vc.LaunchMPI(6000, makeApp)
 	b.k.RunFor(2 * sim.Second)
 	res := b.checkpointOnce(vc, 10*sim.Minute)
 	if res == nil || !res.OK {
-		return false
+		return hpccTrialResult{}
 	}
-	skew.AddTime(res.SaveSkew)
+	out := hpccTrialResult{skew: res.SaveSkew, skewValid: true}
 	if core.InspectImages(res.Images) != nil {
-		return false
+		return out
 	}
 	js := b.runJob(vc, 4*sim.Hour)
 	if !js.AllOK() {
-		return false
+		return out
 	}
 	for _, app := range vc.RankApps() {
 		switch a := app.(type) {
 		case *hpcc.PTRANS:
 			if !a.Passed {
-				return false
+				return out
 			}
 		case *hpcc.HPL:
 			if !a.Passed {
-				return false
+				return out
 			}
 		default:
-			return false
+			return out
 		}
 	}
-	return true
+	out.ok = true
+	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"dvc/internal/core"
 	"dvc/internal/metrics"
+	"dvc/internal/obs"
 	"dvc/internal/phys"
 	"dvc/internal/rm"
 	"dvc/internal/sim"
@@ -81,15 +82,25 @@ func runE8(opts Options) *Result {
 
 	tbl := metrics.NewTable(fmt.Sprintf("E8: %d-job mix on %d nodes with random faults", jobCount, nodes),
 		"policy", "completed", "failed", "crashes", "makespan", "wasted node-time")
-	physOut := run(rm.Physical, 0, opts.Seed)
-	tbl.Row("physical + requeue", physOut.stats.Completed, physOut.stats.Failed,
-		physOut.crashes, physOut.makespan, physOut.stats.TotalWasted)
-	dvcNoCk := run(rm.DVC, 0, opts.Seed)
-	tbl.Row("dvc, no checkpoints", dvcNoCk.stats.Completed, dvcNoCk.stats.Failed,
-		dvcNoCk.crashes, dvcNoCk.makespan, dvcNoCk.stats.TotalWasted)
-	dvcCk := run(rm.DVC, 2*sim.Minute, opts.Seed)
-	tbl.Row("dvc + LSC every 2m", dvcCk.stats.Completed, dvcCk.stats.Failed,
-		dvcCk.crashes, dvcCk.makespan, dvcCk.stats.TotalWasted)
+	// The three policies are independent simulations over the same seed;
+	// fan them across the fleet pool and render rows in policy order.
+	policies := []struct {
+		label    string
+		backend  rm.Backend
+		interval sim.Time
+	}{
+		{"physical + requeue", rm.Physical, 0},
+		{"dvc, no checkpoints", rm.DVC, 0},
+		{"dvc + LSC every 2m", rm.DVC, 2 * sim.Minute},
+	}
+	outs := forEachTrial(opts, len(policies), func(i int, _ *obs.Tracer) outcome {
+		return run(policies[i].backend, policies[i].interval, opts.Seed)
+	})
+	for i, o := range outs {
+		tbl.Row(policies[i].label, o.stats.Completed, o.stats.Failed,
+			o.crashes, o.makespan, o.stats.TotalWasted)
+	}
+	physOut, dvcCk := outs[0], outs[2]
 	res.table(tbl, opts.out())
 
 	res.check("all jobs complete under every policy",

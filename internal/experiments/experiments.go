@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 
+	"dvc/internal/fleet"
 	"dvc/internal/metrics"
 	"dvc/internal/obs"
 )
@@ -29,8 +30,17 @@ type Options struct {
 	// Tracer, when non-nil, records a deterministic event trace of the
 	// run (internal/obs). One tracer may span every trial of an
 	// experiment; virtual time restarts per trial and the exporters
-	// re-sort. Experiments that do not support tracing ignore it.
+	// re-sort. Under parallel trial execution each trial records into a
+	// private child tracer and the children are spliced back in trial
+	// order, so the trace bytes do not depend on Parallel. Experiments
+	// that do not support tracing ignore it.
 	Tracer *obs.Tracer
+	// Parallel bounds the worker pool for independent trials
+	// (internal/fleet). 0 = one worker per core (GOMAXPROCS); 1 = run
+	// trials inline on the calling goroutine. Every table, shape check
+	// and trace byte is identical for any value — only wall-clock time
+	// changes.
+	Parallel int
 }
 
 func (o Options) out() io.Writer {
@@ -38,6 +48,38 @@ func (o Options) out() io.Writer {
 		return io.Discard
 	}
 	return o.Out
+}
+
+// workers resolves the Parallel option to a concrete pool size.
+func (o Options) workers() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return fleet.DefaultWorkers()
+}
+
+// forEachTrial is the shared parallel trial loop: it runs fn for trials
+// 0..n-1 across the fleet pool and returns the results indexed by trial,
+// so callers aggregate with an ordinary index-ordered loop and produce
+// byte-identical output to a serial for-loop.
+//
+// Each invocation receives a private child tracer (nil when opts.Tracer
+// is nil); after all trials finish the children are spliced back into
+// opts.Tracer in trial order, preserving the byte-identical JSONL replay
+// contract under parallelism.
+//
+// fn must be self-contained: build your own bed/kernel from the trial's
+// seed, trace only through tr, and return all measurements — never write
+// to shared state from inside fn (the closure runs on a worker
+// goroutine; `go test -race ./...` enforces this).
+func forEachTrial[T any](opts Options, n int, fn func(trial int, tr *obs.Tracer) T) []T {
+	children := make([]*obs.Tracer, n)
+	out := fleet.Map(opts.workers(), n, func(i int) T {
+		children[i] = opts.Tracer.Child()
+		return fn(i, children[i])
+	})
+	opts.Tracer.Splice(children...)
+	return out
 }
 
 // Check is one shape assertion against the paper.

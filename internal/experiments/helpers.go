@@ -117,28 +117,52 @@ func (b *bed) allocate(name string, nodes int, wd guest.WatchdogConfig) *core.Vi
 	return vc
 }
 
-// runJob drives until the VC's job is done (or limit).
+// runJob drives until the VC's job is done (or limit). The wait is
+// event-driven: every guest process exit halts the kernel, so the loop
+// re-checks its predicate only when something actually finished instead
+// of waking every simulated second. Stopping at the exact completion
+// instant (rather than the next poll boundary) also means the kernel
+// fires no post-completion timer/NTP events, which is most of the
+// events-fired reduction EXPERIMENTS.md reports.
 func (b *bed) runJob(vc *core.VirtualCluster, limit sim.Time) core.JobStatus {
 	deadline := b.k.Now() + limit
-	for b.k.Now() < deadline {
+	defer notifyExits(vc, nil)
+	for {
 		js := vc.JobStatus()
 		if js.Done() && vc.State() == core.VCReady {
 			return js
 		}
-		b.k.RunFor(sim.Second)
+		if b.k.Now() >= deadline {
+			return vc.JobStatus()
+		}
+		// Re-arm each pass: a restore mid-wait replaces the guest OSes,
+		// and arming is idempotent on the ones already hooked.
+		notifyExits(vc, b.k.Halt)
+		b.k.RunUntil(deadline)
 	}
-	return vc.JobStatus()
 }
 
-// checkpointOnce issues one checkpoint and runs until it reports.
+// notifyExits installs (or clears, fn == nil) an exit-notification hook
+// on every live guest OS of the VC.
+func notifyExits(vc *core.VirtualCluster, fn func()) {
+	for _, os := range vc.OSes() {
+		if os != nil {
+			os.SetExitNotify(fn)
+		}
+	}
+}
+
+// checkpointOnce issues one checkpoint and runs until it reports. The
+// completion callback halts the kernel, so the wait stops at the exact
+// report instant instead of polling on a one-second period.
 func (b *bed) checkpointOnce(vc *core.VirtualCluster, limit sim.Time) *core.CheckpointResult {
 	var res *core.CheckpointResult
-	if err := b.co.Checkpoint(vc, func(r *core.CheckpointResult) { res = r }); err != nil {
+	if err := b.co.Checkpoint(vc, func(r *core.CheckpointResult) { res = r; b.k.Halt() }); err != nil {
 		panic(err)
 	}
 	deadline := b.k.Now() + limit
 	for res == nil && b.k.Now() < deadline {
-		b.k.RunFor(sim.Second)
+		b.k.RunUntil(deadline)
 	}
 	return res
 }

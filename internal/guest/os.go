@@ -162,6 +162,13 @@ type OS struct {
 	wdTimeouts int
 
 	pumpScheduled bool
+
+	// exitNotify, when set, is invoked every time a process exits. Drivers
+	// (experiment harnesses, the facade) use it to halt the kernel and
+	// re-check completion predicates instead of polling on a fixed period.
+	// Runtime-only: it is not part of the VM image and does not survive
+	// save/restore.
+	exitNotify func()
 }
 
 // New creates a running guest OS on top of a TCP stack. wallClock supplies
@@ -254,6 +261,14 @@ func (o *OS) Procs() []*Process {
 	}
 	return out
 }
+
+// SetExitNotify installs fn to be called whenever a process exits (nil
+// clears it). This is the event-driven alternative to polling AllExited
+// on a timer: a driver sets fn = kernel.Halt, runs the kernel, and
+// re-checks its completion predicate only when something actually
+// exited. The hook fires from inside the scheduler pump, so fn must not
+// re-enter the OS; halting the kernel is the intended use.
+func (o *OS) SetExitNotify(fn func()) { o.exitNotify = fn }
 
 // AllExited reports whether every process has finished.
 func (o *OS) AllExited() bool {
@@ -351,6 +366,9 @@ func (o *OS) drive(p *Process) bool {
 		p.last = Result{}
 		if op == nil {
 			p.exited = true
+			if o.exitNotify != nil {
+				o.exitNotify()
+			}
 			return true
 		}
 		p.cur = op

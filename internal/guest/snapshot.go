@@ -150,10 +150,29 @@ func Restore(k *sim.Kernel, fabric *netsim.Fabric, snap *Snapshot, wallClock fun
 // and accounted separately by the vm package.
 func EncodeImage(snap *Snapshot) ([]byte, error) {
 	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+	return EncodeImageInto(&buf, snap)
+}
+
+// EncodeImageInto is EncodeImage with a caller-supplied scratch buffer:
+// the buffer is reset, the snapshot encoded into it, and the result
+// returned as a fresh exact-size copy (the buffer's grown capacity is
+// what gets reused, not the returned bytes). Hot save paths — a
+// coordinated LSC save encodes every VM in the set — keep one buffer per
+// hypervisor and avoid re-growing it on every capture. A fresh
+// gob.Encoder per call is required: gob emits type descriptors once per
+// encoder stream, and images must be self-describing.
+//
+// Note this is a plain scratch buffer, not a sync.Pool: hypervisors are
+// simulation state, single-threaded by design (one kernel per trial,
+// kernels never cross goroutines — see internal/fleet), so pooling
+// machinery with locks would add overhead and violate the dvclint
+// noconcurrency rule.
+func EncodeImageInto(buf *bytes.Buffer, snap *Snapshot) ([]byte, error) {
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(snap); err != nil {
 		return nil, fmt.Errorf("guest: encoding image: %w", err)
 	}
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // DecodeImage reverses EncodeImage.

@@ -23,6 +23,15 @@ func (s *Sample) Add(v float64) { s.vals = append(s.vals, v) }
 // AddTime appends a duration observation in seconds.
 func (s *Sample) AddTime(t sim.Time) { s.Add(t.Seconds()) }
 
+// Merge appends every observation of o in o's recording order, so merging
+// per-trial samples in trial order reproduces the value sequence a serial
+// loop would have accumulated. A nil o is a no-op.
+func (s *Sample) Merge(o *Sample) {
+	if o != nil {
+		s.vals = append(s.vals, o.vals...)
+	}
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.vals) }
 

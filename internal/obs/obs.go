@@ -229,6 +229,53 @@ func (t *Tracer) Observe(name string, v float64) {
 	t.reg.Observe(name, v)
 }
 
+// Child returns a fresh, empty tracer intended for one parallel trial.
+// A nil (disabled) parent returns a nil child, so untraced runs stay
+// untraced all the way down. Children are independent single-threaded
+// tracers; after the trial completes, hand them back to the parent with
+// Splice in trial order.
+func (t *Tracer) Child() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return NewTracer()
+}
+
+// Splice appends each child's records to t in argument order, exactly as
+// if every event had been emitted directly on t: sequence numbers are
+// re-assigned densely in splice order and span references (Begin's
+// self-reference, End's back-reference) are remapped by the same offset,
+// so begin/end pairing — and therefore the exporters' byte output — is
+// preserved. Child registries merge in the same order: counters add,
+// gauges take the later child's value (last-write-wins, as a serial run
+// would), histograms append their observations.
+//
+// This is what keeps the JSONL replay contract byte-identical under
+// parallel trial execution: trials record into private children
+// concurrently, and the parent splices them back in trial-index order,
+// reproducing the emission order of the serial loop. Nil children (from
+// a disabled parent, or trials skipped by a panic) are ignored; calling
+// Splice on a nil tracer is a no-op.
+func (t *Tracer) Splice(children ...*Tracer) {
+	if t == nil {
+		return
+	}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		off := uint64(len(t.recs))
+		for _, r := range c.recs {
+			r.Seq += off
+			if r.Ph == PhaseBegin || r.Ph == PhaseEnd {
+				r.Span += off
+			}
+			t.recs = append(t.recs, r)
+		}
+		t.reg.merge(c.reg)
+	}
+}
+
 // append assigns the next sequence number and stores the record.
 func (t *Tracer) append(r Record) uint64 {
 	r.Seq = uint64(len(t.recs))

@@ -78,6 +78,31 @@ func (r *Registry) Histogram(name string) *metrics.Sample {
 	return r.hists[name]
 }
 
+// merge folds another registry into this one, reproducing what a serial
+// run would have accumulated: counters add, gauges overwrite (the merged
+// registry is "later"), histogram observations append in their recorded
+// order. Iteration is over sorted keys — the values are order-independent,
+// but the determinism lint (mapiter) applies here like everywhere else.
+func (r *Registry) merge(c *Registry) {
+	if r == nil || c == nil {
+		return
+	}
+	for _, name := range sortedKeys(c.counters) {
+		r.counters[name] += c.counters[name]
+	}
+	for _, name := range sortedKeys(c.gauges) {
+		r.gauges[name] = c.gauges[name]
+	}
+	for _, name := range sortedKeys(c.hists) {
+		s := r.hists[name]
+		if s == nil {
+			s = &metrics.Sample{}
+			r.hists[name] = s
+		}
+		s.Merge(c.hists[name])
+	}
+}
+
 // Point is one metric in a registry snapshot. Histograms carry the
 // span-summary statistics (count/mean/percentiles) the LSC epoch
 // analysis uses; counters and gauges carry Value.

@@ -12,6 +12,7 @@
 package vm
 
 import (
+	"bytes"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -191,7 +192,7 @@ func (d *Domain) CaptureImage() (*Image, error) {
 	if d.state != StatePaused {
 		return nil, fmt.Errorf("vm: capture %s: domain is %v, must be paused", d.name, d.state)
 	}
-	data, err := guest.EncodeImage(d.os.Snapshot())
+	data, err := guest.EncodeImageInto(&d.hv.encBuf, d.os.Snapshot())
 	if err != nil {
 		return nil, fmt.Errorf("vm: capture %s: %w", d.name, err)
 	}
@@ -232,6 +233,13 @@ type Hypervisor struct {
 	tcpCfg  tcp.Config
 	domains map[string]*Domain
 	tracer  *obs.Tracer
+
+	// encBuf is the per-hypervisor gob scratch buffer for CaptureImage:
+	// a coordinated save encodes every hosted domain, and reusing one
+	// grown buffer avoids re-allocating the encoder's backing array each
+	// time. Safe without locks because each hypervisor belongs to exactly
+	// one kernel and kernels never cross goroutines (internal/fleet).
+	encBuf bytes.Buffer
 }
 
 // NewHypervisor installs a hypervisor on a node. If the node crashes, all
