@@ -1,0 +1,101 @@
+// Fixture: the kernel's pooled-slab idiom — a value slab threaded by an
+// intrusive free list, an implicit index heap, and pooled records with
+// pre-bound callbacks (internal/sim's event slab, netsim's delivery pool)
+// — is single-threaded object reuse, not concurrency. None of it may be
+// flagged: the analyzer must distinguish hand-rolled pooling from the
+// sync.Pool / worker-pool shapes it exists to reject. The one diagnostic
+// below pins the boundary: reaching for sync.Pool to "optimise" the same
+// idiom inside a sim package is still an error, because sync.Pool's
+// per-P caches make reuse order scheduler-dependent.
+package noconcurrency
+
+import "sync"
+
+type slabEntry struct {
+	when int64
+	seq  uint64
+	fn   func()
+	next int32
+	live bool
+}
+
+type pool struct {
+	slab []slabEntry
+	free int32
+	heap []int32
+}
+
+// alloc pops the intrusive free list, growing the slab when dry. This is
+// the steady-state-allocation-free idiom the kernel hot path uses; it
+// must lint clean.
+func (p *pool) alloc() int32 {
+	if p.free >= 0 {
+		slot := p.free
+		p.free = p.slab[slot].next
+		return slot
+	}
+	p.slab = append(p.slab, slabEntry{next: -1})
+	return int32(len(p.slab) - 1)
+}
+
+// release pushes a slot back; clearing the callback drops captured state.
+func (p *pool) release(slot int32) {
+	p.slab[slot].fn = nil
+	p.slab[slot].live = false
+	p.slab[slot].next = p.free
+	p.free = slot
+}
+
+// schedule reuses a slot and sifts an implicit index heap — pure slice
+// and index manipulation, nothing for the analyzer to see.
+func (p *pool) schedule(when int64, seq uint64, fn func()) int32 {
+	slot := p.alloc()
+	e := &p.slab[slot]
+	e.when, e.seq, e.fn, e.live = when, seq, fn, true
+	p.heap = append(p.heap, slot)
+	for i := len(p.heap) - 1; i > 0; {
+		parent := (i - 1) / 4
+		a, b := &p.slab[p.heap[i]], &p.slab[p.heap[parent]]
+		if a.when > b.when || (a.when == b.when && a.seq > b.seq) {
+			break
+		}
+		p.heap[i], p.heap[parent] = p.heap[parent], p.heap[i]
+		i = parent
+	}
+	return slot
+}
+
+// recycled records with a pre-bound callback (netsim's delivery pool
+// shape): the closure is created once per record, then reused.
+type record struct {
+	payload any
+	next    *record
+	run     func()
+}
+
+type recordPool struct{ free *record }
+
+func (rp *recordPool) get() *record {
+	if r := rp.free; r != nil {
+		rp.free = r.next
+		r.next = nil
+		return r
+	}
+	r := &record{}
+	r.run = func() { r.payload = nil }
+	return r
+}
+
+func (rp *recordPool) put(r *record) {
+	r.payload = nil
+	r.next = rp.free
+	rp.free = r
+}
+
+// badSyncPool: the "same" optimisation with sync.Pool is still rejected —
+// per-P caches make reuse order depend on the host scheduler.
+func badSyncPool() *record {
+	var p sync.Pool                          // want `use of sync\.Pool in deterministic core`
+	p.New = func() any { return &record{} }  // want `use of sync\.New in deterministic core`
+	return p.Get().(*record)                 // want `use of sync\.Get in deterministic core`
+}

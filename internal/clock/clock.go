@@ -117,7 +117,7 @@ type NTPDaemon struct {
 	cfg    NTPConfig
 	clocks []*Clock
 	syncs  int
-	handle sim.Handle
+	timer  *sim.Timer // poll tick; rearmed in place each round
 }
 
 // NTPConfig tunes the discipline loop.
@@ -154,11 +154,14 @@ func (d *NTPDaemon) Add(c *Clock) { d.clocks = append(d.clocks, c) }
 
 // Start begins the poll loop with an immediate first sync.
 func (d *NTPDaemon) Start() {
-	d.handle = d.kernel.After(0, d.tick)
+	if d.timer == nil {
+		d.timer = sim.NewTimer(d.kernel, d.tick)
+	}
+	d.timer.Reset(0)
 }
 
 // Stop cancels the poll loop.
-func (d *NTPDaemon) Stop() { d.handle.Cancel() }
+func (d *NTPDaemon) Stop() { d.timer.Stop() }
 
 // Syncs reports how many sync rounds have completed.
 func (d *NTPDaemon) Syncs() int { return d.syncs }
@@ -174,7 +177,7 @@ func (d *NTPDaemon) SyncNow() {
 
 func (d *NTPDaemon) tick() {
 	d.SyncNow()
-	d.handle = d.kernel.After(d.cfg.PollInterval, d.tick)
+	d.timer.Reset(d.cfg.PollInterval)
 }
 
 // MaxPairwiseError returns the worst host-clock disagreement between any

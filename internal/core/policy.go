@@ -13,7 +13,7 @@ type Periodic struct {
 	interval sim.Time
 	onEach   func(*CheckpointResult)
 
-	handle  sim.Handle
+	timer   *sim.Timer // interval tick; rearmed in place after each attempt
 	stopped bool
 
 	// Results collects every completed attempt.
@@ -30,7 +30,10 @@ func (c *Coordinator) StartPeriodic(vc *VirtualCluster, interval sim.Time, onEac
 }
 
 func (p *Periodic) arm() {
-	p.handle = p.c.mgr.kernel.After(p.interval, p.tick)
+	if p.timer == nil {
+		p.timer = sim.NewTimer(p.c.mgr.kernel, p.tick)
+	}
+	p.timer.Reset(p.interval)
 }
 
 func (p *Periodic) tick() {
@@ -60,7 +63,7 @@ func (p *Periodic) tick() {
 // Stop halts the loop (an in-flight checkpoint still completes).
 func (p *Periodic) Stop() {
 	p.stopped = true
-	p.handle.Cancel()
+	p.timer.Stop()
 }
 
 // SucceededCount reports how many attempts completed OK.

@@ -96,8 +96,10 @@ type Process struct {
 	exited   bool
 	exitCode int
 
-	// Timer support for Compute/Sleep ops; frozen with the VM.
-	timer      sim.Handle
+	// Timer support for Compute/Sleep ops; frozen with the VM. The timer
+	// is created lazily on first arm and rearmed in place thereafter
+	// (sim.Timer), so per-op scheduling allocates nothing in steady state.
+	timer      *sim.Timer
 	timerFired bool
 	timerLeft  sim.Time // valid while frozen; -1 = none
 }
@@ -157,10 +159,15 @@ type OS struct {
 
 	wd         WatchdogConfig
 	wdLastWall sim.Time
-	wdTimer    sim.Handle
+	wdTimer    *sim.Timer
 	wdLeft     sim.Time
 	wdTimeouts int
 
+	// pumpTimer drives scheduler passes: schedulePump rearms it at the
+	// current instant instead of allocating a fresh zero-delay event (and
+	// a method-value closure) per pass — the single hottest schedule site
+	// in the simulator.
+	pumpTimer     *sim.Timer
 	pumpScheduled bool
 
 	// exitNotify, when set, is invoked every time a process exits. Drivers
@@ -194,9 +201,18 @@ func New(k *sim.Kernel, stack *tcp.Stack, wallClock func() sim.Time, cpuFactor f
 	}
 	if wd.Interval > 0 {
 		o.wdLastWall = wallClock()
-		o.wdTimer = k.After(wd.Interval, o.watchdogTick)
+		o.armWatchdog(wd.Interval)
 	}
 	return o
+}
+
+// armWatchdog (re)arms the watchdog tick, creating its timer on first use
+// (restored OSes arm lazily from Thaw).
+func (o *OS) armWatchdog(d sim.Time) {
+	if o.wdTimer == nil {
+		o.wdTimer = sim.NewTimer(o.kernel, o.watchdogTick)
+	}
+	o.wdTimer.Reset(d)
 }
 
 // Stack returns the guest's TCP stack.
@@ -322,7 +338,10 @@ func (o *OS) schedulePump() {
 		return
 	}
 	o.pumpScheduled = true
-	o.kernel.After(0, o.pump)
+	if o.pumpTimer == nil {
+		o.pumpTimer = sim.NewTimer(o.kernel, o.pump)
+	}
+	o.pumpTimer.Reset(0)
 }
 
 // pump drives every process until no more progress is possible.
@@ -376,14 +395,17 @@ func (o *OS) drive(p *Process) bool {
 	}
 }
 
-// armTimer sets the process's freezable timer.
+// armTimer sets the process's freezable timer. The callback is bound once
+// per process; rearms reuse the same kernel slot.
 func (p *Process) armTimer(o *OS, d sim.Time) {
-	p.timer.Cancel()
+	if p.timer == nil {
+		p.timer = sim.NewTimer(o.kernel, func() {
+			p.timerFired = true
+			o.schedulePump()
+		})
+	}
 	p.timerFired = false
-	p.timer = o.kernel.After(d, func() {
-		p.timerFired = true
-		o.schedulePump()
-	})
+	p.timer.Reset(d)
 }
 
 // Freeze suspends the OS: process timers and the watchdog stop (recording
@@ -400,14 +422,14 @@ func (o *OS) Freeze() {
 	for _, p := range o.Procs() {
 		if p.timer.Pending() {
 			p.timerLeft = p.timer.When() - o.kernel.Now()
-			p.timer.Cancel()
+			p.timer.Stop()
 		} else {
 			p.timerLeft = -1
 		}
 	}
 	if o.wdTimer.Pending() {
 		o.wdLeft = o.wdTimer.When() - o.kernel.Now()
-		o.wdTimer.Cancel()
+		o.wdTimer.Stop()
 	} else {
 		o.wdLeft = -1
 	}
@@ -431,7 +453,7 @@ func (o *OS) Thaw() {
 		}
 	}
 	if o.wdLeft >= 0 {
-		o.wdTimer = o.kernel.After(o.wdLeft, o.watchdogTick)
+		o.armWatchdog(o.wdLeft)
 		o.wdLeft = -1
 	}
 	o.stack.Thaw()
@@ -451,5 +473,5 @@ func (o *OS) watchdogTick() {
 		o.Logf("watchdog: BUG: soft lockup detected, wall clock jumped %v", gap-o.wd.Interval)
 	}
 	o.wdLastWall = wall
-	o.wdTimer = o.kernel.After(o.wd.Interval, o.watchdogTick)
+	o.armWatchdog(o.wd.Interval)
 }

@@ -61,14 +61,20 @@ func InterClusterWAN() LinkProfile {
 	return LinkProfile{Latency: 350 * sim.Microsecond, Bandwidth: 117e6, LossProb: 1e-6}
 }
 
-// Stats counts fabric activity.
+// Stats counts fabric activity. Sent and Bytes count only packets that
+// actually transmit (pass the sender-up, drop-rule, destination and loss
+// checks and consume NIC/wire time); packets refused before transmission
+// accumulate in BytesDropped instead, so byte counters never overstate
+// offered load. Packets dropped at delivery time (destination paused or
+// detached mid-flight) did occupy the wire and therefore stay in Bytes.
 type Stats struct {
 	Sent          uint64
 	Delivered     uint64
 	DroppedLoss   uint64 // lost on the wire (random loss or drop rule)
-	DroppedDown   uint64 // destination port down (e.g. VM paused)
+	DroppedDown   uint64 // sender/destination port down (e.g. VM paused)
 	DroppedNoDest uint64 // destination not attached
-	Bytes         uint64
+	Bytes         uint64 // payload bytes of transmitted packets
+	BytesDropped  uint64 // payload bytes of packets refused before transmit
 }
 
 // Port is one attachment point. A port whose Up flag is false silently
@@ -132,6 +138,10 @@ type Fabric struct {
 	ports    map[Addr]*Port
 	stats    Stats
 	tracer   *obs.Tracer
+
+	// freeDeliveries is the pool of in-flight packet records (see
+	// delivery): Send pops one, the arrival event pushes it back.
+	freeDeliveries *delivery
 
 	// DropRule, when set, force-drops matching packets. Experiments use
 	// it to cut specific messages at a snapshot boundary (E3).
@@ -269,37 +279,47 @@ func (f *Fabric) effectiveBandwidth(src, dst *Port) float64 {
 // Send puts a packet on the wire. Delivery (or loss) is resolved as a
 // future event. The sender's NIC serialises transmissions (packets queue
 // behind earlier ones from the same port), so a burst of segments honours
-// the link bandwidth and stays in order. Loss semantics: the loss draw
-// happens at delivery time so that a destination that went down mid-flight
-// also loses the packet — matching "packets to a saved VM are lost on the
-// wire".
+// the link bandwidth and stays in order. The in-flight leg is a pooled
+// delivery record with a pre-bound callback — no closure is captured per
+// packet, so the per-packet path allocates nothing in steady state.
+//
+// Accounting: Sent/Bytes count at the moment the packet clears the
+// send-side checks and claims wire time; refused packets (down sender,
+// drop rule, unknown destination, random loss) count their payload in
+// BytesDropped instead. A destination that goes down mid-flight still
+// loses the packet — "packets to a saved VM are lost on the wire" — but
+// that loss is delivery-side: the bytes were genuinely transmitted.
 func (f *Fabric) Send(pkt Packet) {
-	f.stats.Sent++
-	f.stats.Bytes += uint64(pkt.Size)
 	src, ok := f.ports[pkt.Src]
 	if !ok || !src.up {
 		// A down/detached sender cannot transmit at all.
 		f.stats.DroppedDown++
+		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "sender-down")
 		return
 	}
 	if f.DropRule != nil && f.DropRule(pkt) {
 		f.stats.DroppedLoss++
+		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "rule")
 		return
 	}
 	dst, ok := f.ports[pkt.Dst]
 	if !ok {
 		f.stats.DroppedNoDest++
+		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "no-dest")
 		return
 	}
 	prof := f.profileFor(src, dst)
 	if prof.LossProb > 0 && f.kernel.Rand().Float64() < prof.LossProb {
 		f.stats.DroppedLoss++
+		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "loss")
 		return
 	}
+	f.stats.Sent++
+	f.stats.Bytes += uint64(pkt.Size)
 	// NIC serialisation: the packet finishes transmitting txTime after
 	// the NIC frees up, then propagates for the latency term.
 	var txTime sim.Time
@@ -315,19 +335,55 @@ func (f *Fabric) Send(pkt Packet) {
 	depart := start + txTime
 	src.busyUntil = depart
 	arrive := depart + prof.Latency + src.ExtraLatency + dst.ExtraLatency
-	f.kernel.At(arrive, func() {
-		p, ok := f.ports[pkt.Dst]
-		if !ok {
-			f.stats.DroppedNoDest++
-			f.traceDrop(pkt, "dest-detached")
-			return
-		}
-		if !p.up || p.handler == nil {
-			f.stats.DroppedDown++
-			f.traceDrop(pkt, "dest-down")
-			return
-		}
-		f.stats.Delivered++
-		p.handler(pkt)
-	})
+	rec := f.getDelivery()
+	rec.pkt = pkt
+	f.kernel.At(arrive, rec.run)
+}
+
+// delivery is one pooled in-flight packet record. run is bound to the
+// record once, at pool-entry creation; scheduling a delivery stores that
+// same func value in the kernel's event slab, so neither the fabric nor
+// the kernel allocates per packet once the pool is warm.
+type delivery struct {
+	f    *Fabric
+	pkt  Packet
+	next *delivery // free-list link
+	run  func()
+}
+
+// getDelivery pops a record off the free list, minting one (and its bound
+// callback) only when the pool is dry.
+func (f *Fabric) getDelivery() *delivery {
+	if rec := f.freeDeliveries; rec != nil {
+		f.freeDeliveries = rec.next
+		rec.next = nil
+		return rec
+	}
+	rec := &delivery{f: f}
+	rec.run = rec.deliver
+	return rec
+}
+
+// deliver resolves one arrival. The record is recycled before the handler
+// runs: handlers routinely transmit replies, and the reply's in-flight leg
+// then reuses this very record.
+func (rec *delivery) deliver() {
+	f, pkt := rec.f, rec.pkt
+	rec.pkt = Packet{} // drop payload reference for the GC
+	rec.next = f.freeDeliveries
+	f.freeDeliveries = rec
+
+	p, ok := f.ports[pkt.Dst]
+	if !ok {
+		f.stats.DroppedNoDest++
+		f.traceDrop(pkt, "dest-detached")
+		return
+	}
+	if !p.up || p.handler == nil {
+		f.stats.DroppedDown++
+		f.traceDrop(pkt, "dest-down")
+		return
+	}
+	f.stats.Delivered++
+	p.handler(pkt)
 }

@@ -245,6 +245,62 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
+// TestSendAccountingSkipsRefusedPackets pins the corrected accounting:
+// packets refused before transmit (sender down, drop rule, unknown dest)
+// must not count toward Sent/Bytes and must accrue BytesDropped instead.
+func TestSendAccountingSkipsRefusedPackets(t *testing.T) {
+	k, f := newTestFabric(t)
+	p1 := f.Attach("n1", "a", nil)
+	f.Attach("n2", "a", func(Packet) {})
+
+	// Refused: unknown destination.
+	f.Send(Packet{Src: "n1", Dst: "ghost", Size: 100})
+	// Refused: drop rule.
+	f.DropRule = func(p Packet) bool { return p.Payload == "cut" }
+	f.Send(Packet{Src: "n1", Dst: "n2", Size: 200, Payload: "cut"})
+	f.DropRule = nil
+	// Refused: sender down.
+	p1.SetUp(false)
+	f.Send(Packet{Src: "n1", Dst: "n2", Size: 300})
+	p1.SetUp(true)
+	// Transmitted and delivered.
+	f.Send(Packet{Src: "n1", Dst: "n2", Size: 400})
+	k.Run()
+
+	s := f.Stats()
+	if s.Sent != 1 || s.Bytes != 400 {
+		t.Fatalf("Sent=%d Bytes=%d, want 1/400 (refused packets leaked into transmit stats): %+v", s.Sent, s.Bytes, s)
+	}
+	if s.BytesDropped != 600 {
+		t.Fatalf("BytesDropped = %d, want 600: %+v", s.BytesDropped, s)
+	}
+	if s.Delivered != 1 {
+		t.Fatalf("Delivered = %d, want 1", s.Delivered)
+	}
+}
+
+// TestDeliveryTimeDropStaysInBytes: a packet lost at delivery time (dest
+// went down mid-flight) occupied the wire, so it stays in Sent/Bytes and
+// does not accrue BytesDropped.
+func TestDeliveryTimeDropStaysInBytes(t *testing.T) {
+	k, f := newTestFabric(t)
+	f.Attach("n1", "a", nil)
+	p2 := f.Attach("n2", "a", func(Packet) { t.Fatal("delivered to down port") })
+	f.Send(Packet{Src: "n1", Dst: "n2", Size: 250})
+	k.After(10*sim.Microsecond, func() { p2.SetUp(false) })
+	k.Run()
+	s := f.Stats()
+	if s.Sent != 1 || s.Bytes != 250 {
+		t.Fatalf("Sent=%d Bytes=%d, want 1/250 (wire occupancy must be counted)", s.Sent, s.Bytes)
+	}
+	if s.BytesDropped != 0 {
+		t.Fatalf("BytesDropped = %d, want 0 for delivery-time loss", s.BytesDropped)
+	}
+	if s.DroppedDown != 1 {
+		t.Fatalf("DroppedDown = %d, want 1", s.DroppedDown)
+	}
+}
+
 // Property: delay is monotonic in packet size and symmetric for ports in
 // the same cluster with no per-port overhead.
 func TestPropertyDelayMonotonicSymmetric(t *testing.T) {

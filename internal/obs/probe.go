@@ -10,11 +10,11 @@ import (
 // part of the deterministic schedule: two traced runs sample at the same
 // instants and record the same values.
 type KernelProbe struct {
-	k      *sim.Kernel
-	t      *Tracer
-	every  sim.Time
-	stop   bool
-	handle sim.Handle
+	k     *sim.Kernel
+	t     *Tracer
+	every sim.Time
+	stop  bool
+	timer *sim.Timer
 }
 
 // StartKernelProbe begins sampling k into t every interval. A nil tracer
@@ -25,6 +25,7 @@ func StartKernelProbe(k *sim.Kernel, t *Tracer, every sim.Time) *KernelProbe {
 		return nil
 	}
 	p := &KernelProbe{k: k, t: t, every: every}
+	p.timer = sim.NewTimer(k, p.sample)
 	p.sample() // an immediate t=now sample, then one per interval
 	return p
 }
@@ -35,7 +36,7 @@ func (p *KernelProbe) Stop() {
 		return
 	}
 	p.stop = true
-	p.handle.Cancel()
+	p.timer.Stop()
 }
 
 func (p *KernelProbe) sample() {
@@ -50,5 +51,5 @@ func (p *KernelProbe) sample() {
 	p.t.Gauge("sim.events_fired", fired)
 	p.t.Gauge("sim.queue_depth", depth)
 	p.t.Observe("sim.queue_depth_samples", depth)
-	p.handle = p.k.After(p.every, p.sample)
+	p.timer.Reset(p.every)
 }

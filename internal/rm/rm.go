@@ -152,9 +152,9 @@ type RM struct {
 	notYetArrived int
 	busyNodeTime  sim.Time // accumulated node-seconds of claimed time
 
-	tickHandle sim.Handle
-	stopped    bool
-	tracer     *obs.Tracer
+	tickTimer *sim.Timer // scheduler tick; rearmed in place each pass
+	stopped   bool
+	tracer    *obs.Tracer
 }
 
 // New creates a resource manager. mgr and coord may be nil for the
@@ -175,13 +175,16 @@ func New(k *sim.Kernel, site *phys.Site, mgr *core.Manager, coord *core.Coordina
 
 // Start begins the scheduler loop.
 func (r *RM) Start() {
-	r.tickHandle = r.kernel.After(r.cfg.Tick, r.tick)
+	if r.tickTimer == nil {
+		r.tickTimer = sim.NewTimer(r.kernel, r.tick)
+	}
+	r.tickTimer.Reset(r.cfg.Tick)
 }
 
 // Stop halts the scheduler loop.
 func (r *RM) Stop() {
 	r.stopped = true
-	r.tickHandle.Cancel()
+	r.tickTimer.Stop()
 }
 
 // SetTracer attaches an observability tracer (nil disables tracing). Job
@@ -311,7 +314,7 @@ func (r *RM) tick() {
 	}
 	r.reap()
 	r.schedule()
-	r.tickHandle = r.kernel.After(r.cfg.Tick, r.tick)
+	r.tickTimer.Reset(r.cfg.Tick)
 }
 
 func (r *RM) schedule() {

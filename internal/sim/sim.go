@@ -5,10 +5,22 @@
 // absolute virtual times or after relative delays; the kernel executes them
 // in time order, breaking ties by schedule order, so a simulation with a
 // fixed seed is reproducible bit for bit.
+//
+// # Hot-path design
+//
+// The event path is allocation-free in steady state. Events live in a slab
+// ([]event) threaded by an intrusive free list; scheduling reuses a free
+// slot instead of heap-allocating, and the priority queue is a hand-rolled
+// implicit 4-ary min-heap over slot indices keyed by (when, seq) — no
+// interface boxing, no per-push allocation. Handles are generation-counted
+// {slot, gen} values, so cancelling never pins a pointer and a recycled
+// slot can never be cancelled through a stale handle. Cancelled events are
+// removed lazily (the heap entry dies in place and is discarded when it
+// reaches the top, or reclaimed by compaction when dead entries outnumber
+// live ones). See DESIGN.md "Kernel hot path".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -38,78 +50,83 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Seconds reports the time as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created through Kernel.At and Kernel.After.
+// Slot states. A slot cycles free -> scheduled -> free (firing), with two
+// detours: scheduled -> dead (lazy cancel, still occupying a heap entry
+// until popped or compacted) and scheduled <-> idle (Timer-owned slots,
+// which stay allocated to their timer between firings).
+const (
+	slotFree uint8 = iota
+	slotScheduled
+	slotDead
+	slotIdle
+)
+
+// event is one slab entry. Slots are addressed by index, never by pointer:
+// the slab may be reallocated by growth at any schedule point.
 type event struct {
-	when Time
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int // heap index, -1 when popped
+	when    Time
+	seq     uint64
+	fn      func()
+	gen     uint32
+	heapIdx int32 // position in Kernel.heap; -1 when not queued
+	next    int32 // free-list link; meaningful only when state == slotFree
+	state   uint8
+	pinned  bool // owned by a Timer; never returned to the free list
 }
 
 // Handle identifies a scheduled event so it can be cancelled. Handles are
 // single-use: once the event fires or is cancelled the handle is inert.
-type Handle struct{ ev *event }
+// A Handle is a value (kernel pointer + slot + generation); copying it is
+// cheap and stale copies are harmless — the generation check makes every
+// operation on a fired/cancelled/recycled slot a no-op.
+type Handle struct {
+	k    *Kernel
+	slot int32
+	gen  uint32
+}
+
+// valid reports whether the handle still refers to a scheduled event. The
+// generation counter is bumped the moment an event fires or is cancelled,
+// so gen equality implies state == slotScheduled.
+func (h Handle) valid() bool {
+	return h.k != nil && h.k.slab[h.slot].gen == h.gen
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. It reports whether the event was
 // still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead {
+	if !h.valid() {
 		return false
 	}
-	h.ev.dead = true
-	h.ev.fn = nil
+	h.k.cancelSlot(h.slot)
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead }
+func (h Handle) Pending() bool { return h.valid() }
 
-// When returns the virtual time the event is (or was) scheduled for.
+// When returns the virtual time the event is scheduled for, or 0 once the
+// handle is stale (the event fired or was cancelled, or the slot has been
+// recycled for a newer event).
 func (h Handle) When() Time {
-	if h.ev == nil {
+	if !h.valid() {
 		return 0
 	}
-	return h.ev.when
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+	return h.k.slab[h.slot].when
 }
 
 // Kernel is the discrete-event scheduler. It is not safe for concurrent
 // use: the whole simulation is single-threaded by design so that runs are
 // deterministic.
 type Kernel struct {
-	now    Time
-	queue  eventQueue
+	now  Time
+	slab []event
+	free int32   // free-list head, -1 when empty
+	heap []int32 // implicit 4-ary min-heap of slot indices over (when, seq)
+	live int     // scheduled (non-dead) events currently queued
+	dead int     // cancelled events still occupying heap entries
+
 	seq    uint64
 	rng    *rand.Rand
 	fired  uint64
@@ -120,7 +137,7 @@ type Kernel struct {
 // Two kernels with the same seed and the same schedule of calls produce
 // identical simulations.
 func NewKernel(seed int64) *Kernel {
-	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+	return &Kernel{rng: rand.New(rand.NewSource(seed)), free: -1}
 }
 
 // Now returns the current virtual time.
@@ -133,9 +150,193 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Fired reports how many events have executed so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
 
-// Pending reports how many events are waiting in the queue (including
-// cancelled events that have not yet been discarded).
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending reports how many live events are waiting in the queue. Cancelled
+// events that still occupy heap entries are excluded: queue-depth probes
+// must see load, not garbage awaiting collection.
+func (k *Kernel) Pending() int { return k.live }
+
+// deadEntries reports cancelled events still occupying heap entries
+// (exported to tests via export_test.go).
+func (k *Kernel) deadEntries() int { return k.dead }
+
+// --- slab management ---
+
+// alloc pops a slot off the free list, growing the slab when empty.
+func (k *Kernel) alloc() int32 {
+	if k.free >= 0 {
+		slot := k.free
+		k.free = k.slab[slot].next
+		return slot
+	}
+	k.slab = append(k.slab, event{heapIdx: -1, next: -1})
+	return int32(len(k.slab) - 1)
+}
+
+// release returns a non-pinned slot to the free list. The generation was
+// already bumped when the event died; clearing fn drops the closure so the
+// GC can collect captured state.
+func (k *Kernel) release(slot int32) {
+	e := &k.slab[slot]
+	e.fn = nil
+	e.state = slotFree
+	e.heapIdx = -1
+	e.next = k.free
+	k.free = slot
+}
+
+// cancelSlot lazily kills a scheduled slot: the heap entry stays where it
+// is (marked dead) and is reclaimed when it surfaces or when compaction
+// runs. The generation bump makes every outstanding handle stale.
+func (k *Kernel) cancelSlot(slot int32) {
+	e := &k.slab[slot]
+	e.gen++
+	e.state = slotDead
+	e.fn = nil
+	k.live--
+	k.dead++
+	k.maybeCompact()
+}
+
+// maybeCompact rebuilds the heap without its dead entries once they
+// outnumber the live ones. The trigger depends only on deterministic
+// counters and the rebuild only on heap array order, so compaction is part
+// of the reproducible schedule.
+func (k *Kernel) maybeCompact() {
+	const minDead = 64
+	if k.dead < minDead || k.dead <= k.live {
+		return
+	}
+	kept := k.heap[:0]
+	for _, slot := range k.heap {
+		if k.slab[slot].state == slotDead {
+			k.release(slot)
+			continue
+		}
+		kept = append(kept, slot)
+	}
+	k.heap = kept
+	k.dead = 0
+	for i := range k.heap {
+		k.slab[k.heap[i]].heapIdx = int32(i)
+	}
+	// Heapify bottom-up: parents of the last element downward.
+	if n := len(k.heap); n > 1 {
+		for i := (n - 2) / heapArity; i >= 0; i-- {
+			k.siftDown(i)
+		}
+	}
+}
+
+// --- implicit 4-ary min-heap over (when, seq) ---
+
+// heapArity of 4 trades slightly more comparisons per level for half the
+// tree depth of a binary heap: sift paths touch fewer cache lines, and
+// the four children of a node sit adjacent in one or two lines.
+const heapArity = 4
+
+// less orders slots by (when, seq). seq is unique, so the order is total
+// and pop order is independent of heap layout history.
+func (k *Kernel) less(a, b int32) bool {
+	ea, eb := &k.slab[a], &k.slab[b]
+	if ea.when != eb.when {
+		return ea.when < eb.when
+	}
+	return ea.seq < eb.seq
+}
+
+func (k *Kernel) heapPush(slot int32) {
+	k.slab[slot].heapIdx = int32(len(k.heap))
+	k.heap = append(k.heap, slot)
+	k.siftUp(len(k.heap) - 1)
+}
+
+// heapPopTop removes and returns the root slot.
+func (k *Kernel) heapPopTop() int32 {
+	h := k.heap
+	top := h[0]
+	k.slab[top].heapIdx = -1
+	last := len(h) - 1
+	if last > 0 {
+		h[0] = h[last]
+		k.slab[h[0]].heapIdx = 0
+	}
+	k.heap = h[:last]
+	if last > 1 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+// heapRemove deletes the entry at heap position i (Timer.Stop's eager
+// removal; timers never leave dead entries behind).
+func (k *Kernel) heapRemove(i int) {
+	h := k.heap
+	last := len(h) - 1
+	k.slab[h[i]].heapIdx = -1
+	if i != last {
+		h[i] = h[last]
+		k.slab[h[i]].heapIdx = int32(i)
+	}
+	k.heap = h[:last]
+	if i < last {
+		k.siftFix(i)
+	}
+}
+
+// siftFix restores heap order at i after an arbitrary key change.
+func (k *Kernel) siftFix(i int) {
+	if !k.siftUp(i) {
+		k.siftDown(i)
+	}
+}
+
+// siftUp moves i toward the root; reports whether it moved.
+func (k *Kernel) siftUp(i int) bool {
+	h := k.heap
+	moved := false
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !k.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		k.slab[h[i]].heapIdx = int32(i)
+		k.slab[h[p]].heapIdx = int32(p)
+		i = p
+		moved = true
+	}
+	return moved
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if k.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !k.less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		k.slab[h[i]].heapIdx = int32(i)
+		k.slab[h[min]].heapIdx = int32(min)
+		i = min
+	}
+}
+
+// --- scheduling ---
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: that is always a logic error in a discrete-event model.
@@ -146,10 +347,16 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (now=%v, t=%v)", k.now, t))
 	}
-	ev := &event{when: t, seq: k.seq, fn: fn}
+	slot := k.alloc()
+	e := &k.slab[slot]
+	e.when = t
+	e.seq = k.seq
+	e.fn = fn
+	e.state = slotScheduled
 	k.seq++
-	heap.Push(&k.queue, ev)
-	return Handle{ev}
+	k.live++
+	k.heapPush(slot)
+	return Handle{k: k, slot: slot, gen: e.gen}
 }
 
 // After schedules fn to run d after the current time. Negative delays are
@@ -170,18 +377,30 @@ func (k *Kernel) Halted() bool { return k.halted }
 // Step executes the single next pending event, advancing virtual time to
 // its timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		ev := heap.Pop(&k.queue).(*event)
-		if ev.dead {
+	for len(k.heap) > 0 {
+		slot := k.heapPopTop()
+		e := &k.slab[slot]
+		if e.state == slotDead {
+			k.dead--
+			k.release(slot)
 			continue
 		}
-		if ev.when < k.now {
+		if e.when < k.now {
 			panic("sim: event queue time went backwards")
 		}
-		k.now = ev.when
-		fn := ev.fn
-		ev.dead = true
-		ev.fn = nil
+		k.now = e.when
+		fn := e.fn
+		e.gen++
+		k.live--
+		// Free the slot before dispatching: the callback may schedule new
+		// events, and the hottest pattern (fire -> reschedule) then reuses
+		// this very slot. Timer-owned slots park in slotIdle instead,
+		// keeping their bound callback for the next Reset.
+		if e.pinned {
+			e.state = slotIdle
+		} else {
+			k.release(slot)
+		}
 		k.fired++
 		fn()
 		return true
@@ -222,13 +441,18 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 // RunFor is RunUntil(Now()+d).
 func (k *Kernel) RunFor(d Time) uint64 { return k.RunUntil(k.now + d) }
 
+// peek reports the earliest live event time, discarding dead entries that
+// have surfaced at the top of the heap.
 func (k *Kernel) peek() (Time, bool) {
-	for len(k.queue) > 0 {
-		if k.queue[0].dead {
-			heap.Pop(&k.queue)
+	for len(k.heap) > 0 {
+		top := k.heap[0]
+		if k.slab[top].state == slotDead {
+			k.heapPopTop()
+			k.dead--
+			k.release(top)
 			continue
 		}
-		return k.queue[0].when, true
+		return k.slab[top].when, true
 	}
 	return 0, false
 }

@@ -62,7 +62,7 @@ type Store struct {
 	active     map[*transfer]struct{}
 	nextSeq    uint64
 	lastUpdate sim.Time
-	pending    sim.Handle
+	pending    *sim.Timer // completion event; rearmed in place per reschedule
 
 	// Stats
 	Writes, Reads uint64
@@ -111,9 +111,12 @@ func (s *Store) settle() {
 
 // reschedule points the completion event at the next finishing transfer.
 func (s *Store) reschedule() {
-	s.pending.Cancel()
 	if len(s.active) == 0 {
+		s.pending.Stop()
 		return
+	}
+	if s.pending == nil {
+		s.pending = sim.NewTimer(s.kernel, s.complete)
 	}
 	r := s.rate()
 	var next *transfer
@@ -126,7 +129,7 @@ func (s *Store) reschedule() {
 		}
 	}
 	eta := sim.Time(next.remaining / r * float64(sim.Second))
-	s.pending = s.kernel.After(eta, s.complete)
+	s.pending.Reset(eta)
 }
 
 // complete finishes every transfer that has drained.

@@ -77,10 +77,12 @@ type Conn struct {
 	remoteFin bool
 	finRcvd   bool // FIN consumed into rcvNxt
 
-	// Retransmission.
+	// Retransmission. The RTO timer is a rearmable sim.Timer: every ACK
+	// rearms it in place (Reset) instead of cancelling and reallocating a
+	// kernel event — the per-segment hot path allocates nothing.
 	rto        sim.Time
 	retries    int
-	timer      sim.Handle
+	timer      *sim.Timer
 	timerLeft  sim.Time // remaining time while frozen; -1 when no timer
 	srtt       sim.Time
 	rttvar     sim.Time
@@ -226,12 +228,14 @@ func (c *Conn) trySend() {
 }
 
 func (c *Conn) armTimer(d sim.Time) {
-	c.timer.Cancel()
-	c.timer = c.stack.kernel.After(d, c.onTimeout)
+	if c.timer == nil {
+		c.timer = sim.NewTimer(c.stack.kernel, c.onTimeout)
+	}
+	c.timer.Reset(d)
 }
 
 func (c *Conn) stopTimer() {
-	c.timer.Cancel()
+	c.timer.Stop()
 	c.timerLeft = -1
 }
 
@@ -544,6 +548,10 @@ func (c *Conn) sendAck() {
 func (c *Conn) teardown(state State, err error) {
 	c.state = state
 	c.stopTimer()
+	// A torn-down connection never rearms (trySend and handle() bail on
+	// Closed/Reset states), so return the timer's slot to the kernel pool.
+	c.timer.Free()
+	c.timer = nil
 	if err != nil && c.OnError != nil {
 		c.OnError(err)
 	}
@@ -566,7 +574,7 @@ func (c *Conn) teardown(state State, err error) {
 func (c *Conn) freeze() {
 	if c.timer.Pending() {
 		c.timerLeft = c.timer.When() - c.now()
-		c.timer.Cancel()
+		c.timer.Stop()
 	} else {
 		c.timerLeft = -1
 	}

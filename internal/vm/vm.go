@@ -326,7 +326,13 @@ func (h *Hypervisor) CreateDomain(name string, addr netsim.Addr, ram int64, wd g
 	}
 	d := &Domain{name: name, addr: addr, ram: ram, hv: h, state: StateBooting}
 	h.domains[name] = d
-	h.kernel.After(h.cfg.BootTime, func() {
+	// Lifecycle timeouts ride on sim.Timer: the boot deadline is a
+	// rearmable slot that frees itself after firing, so domain churn
+	// (boot/destroy cycles in the allocation experiments) does not grow
+	// the kernel's event slab.
+	var boot *sim.Timer
+	boot = sim.NewTimer(h.kernel, func() {
+		boot.Free()
 		if d.state != StateBooting || !h.node.Up() {
 			return
 		}
@@ -342,6 +348,7 @@ func (h *Hypervisor) CreateDomain(name string, addr netsim.Addr, ram int64, wd g
 			onReady(d)
 		}
 	})
+	boot.Reset(h.cfg.BootTime)
 	return d, nil
 }
 
