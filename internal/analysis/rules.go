@@ -46,6 +46,7 @@ var simPackages = map[string]bool{
 	"dvc/internal/core":     true,
 	"dvc/internal/vm":       true,
 	"dvc/internal/netsim":   true,
+	"dvc/internal/payload":  true,
 	"dvc/internal/tcp":      true,
 	"dvc/internal/guest":    true,
 	"dvc/internal/mpi":      true,

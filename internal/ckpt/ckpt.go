@@ -11,9 +11,9 @@
 package ckpt
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 
 	"dvc/internal/sim"
 )
@@ -155,10 +155,25 @@ func Estimates(fp Footprint, bw float64) []Estimate {
 // the LiveData estimate in the real application state rather than a
 // guess. (Our guest programs are pure data, so this is exactly what an
 // application-level checkpointer would write.)
+//
+// The encoder streams into a counting writer: only the size is wanted,
+// so buffering the whole encoding (the pre-rewrite bytes.Buffer) spent
+// an allocation proportional to the state being measured on every E5
+// probe, for bytes that were thrown away immediately.
 func GobSize(v any) (int64, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	var cw countingWriter
+	if err := gob.NewEncoder(&cw).Encode(v); err != nil {
 		return 0, fmt.Errorf("ckpt: measuring state: %w", err)
 	}
-	return int64(buf.Len()), nil
+	return int64(cw), nil
+}
+
+// countingWriter discards bytes and counts them.
+type countingWriter int64
+
+var _ io.Writer = (*countingWriter)(nil)
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	*w += countingWriter(len(p))
+	return len(p), nil
 }

@@ -4,7 +4,9 @@ import (
 	"testing"
 	"testing/quick"
 
+	"dvc/internal/guest"
 	"dvc/internal/sim"
+	"dvc/internal/tcp"
 )
 
 func TestSizeOrdering(t *testing.T) {
@@ -143,5 +145,33 @@ func TestPropertySizeMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGobSizeMatchesEncodedLength pins the counting-writer rewrite of
+// GobSize to the buffered encoder it replaced: the size it reports must
+// be exactly the length of the real encoded stream. A guest snapshot —
+// the most structurally involved gob value in the tree — is used as the
+// probe, tying GobSize to guest.EncodeImage byte for byte.
+func TestGobSizeMatchesEncodedLength(t *testing.T) {
+	snap := &guest.Snapshot{
+		NextPID: 7,
+		FDs:     map[int]tcp.ConnKey{3: {}},
+		NextFD:  4,
+		Accepts: map[uint16][]tcp.ConnKey{80: nil},
+		Listens: []uint16{80},
+		Jiffies: 12345,
+		Stack:   &tcp.StackSnapshot{NextPort: 40000},
+	}
+	img, err := guest.EncodeImage(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := GobSize(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != int64(len(img)) {
+		t.Fatalf("GobSize=%d, encoded image is %d bytes", size, len(img))
 	}
 }

@@ -625,7 +625,7 @@ func (c *Coordinator) finishFail(res *CheckpointResult, reason string, done func
 // failures to either save or restore".
 func InspectImages(images []*vm.Image) error {
 	for _, img := range images {
-		snap, err := guest.DecodeImage(img.Data)
+		snap, err := guest.DecodeImagePayload(img.Data)
 		if err != nil {
 			return fmt.Errorf("inspect %s: %w", img.DomainName, err)
 		}

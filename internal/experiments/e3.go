@@ -71,12 +71,12 @@ func runCutScenario(seed int64, cutAck bool) cutOutcome {
 	if cutAck {
 		f.DropRule = func(pkt netsim.Packet) bool {
 			seg, ok := pkt.Payload.(*tcp.Segment)
-			return ok && pkt.Src == netsim.Addr("B") && len(seg.Data) == 0
+			return ok && pkt.Src == netsim.Addr("B") && seg.Data.Len() == 0
 		}
 	} else {
 		f.DropRule = func(pkt netsim.Packet) bool {
 			seg, ok := pkt.Payload.(*tcp.Segment)
-			return ok && len(seg.Data) > 0
+			return ok && seg.Data.Len() > 0
 		}
 	}
 	msg := []byte("the message")

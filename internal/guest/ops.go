@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 
 	"dvc/internal/netsim"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
 )
@@ -72,15 +73,31 @@ func (op *SleepOp) poll(o *OS, p *Process) (Result, bool) {
 // acknowledged enough that the send backlog fits inside the send window —
 // i.e. the sender is paced by the wire, like a blocking write on a
 // bounded socket buffer.
+//
+// Data is a payload rope handed to the transport by reference: no byte
+// is copied between the program and the TCP send queue. The rope is
+// gob-encodable (an op not yet polled is part of the VM image) and
+// subject to the payload immutability contract — programs build a fresh
+// buffer per message.
 type SendOp struct {
 	FD      int
-	Data    []byte
+	Data    payload.Bytes
 	Len     int
 	Written bool
 }
 
-// Send returns an op that writes data to fd.
-func Send(fd int, data []byte) *SendOp { return &SendOp{FD: fd, Data: data, Len: len(data)} }
+// Send returns an op that writes data to fd (zero-copy: data is wrapped,
+// not copied — the program gives up the right to mutate it).
+func Send(fd int, data []byte) *SendOp {
+	return &SendOp{FD: fd, Data: payload.Wrap(data), Len: len(data)}
+}
+
+// SendPayload returns an op that writes a chunked rope to fd — the
+// entry point for layers (mpi framing) that assemble messages from
+// shared chunks without materialising them.
+func SendPayload(fd int, data payload.Bytes) *SendOp {
+	return &SendOp{FD: fd, Data: data, Len: data.Len()}
+}
 
 func (op *SendOp) start(o *OS, p *Process) {}
 
@@ -90,11 +107,11 @@ func (op *SendOp) poll(o *OS, p *Process) (Result, bool) {
 		return Result{Err: tcp.ErrClosed}, true
 	}
 	if !op.Written {
-		if err := c.Write(op.Data); err != nil {
+		if err := c.WritePayload(op.Data); err != nil {
 			return Result{Err: err}, true
 		}
 		op.Written = true
-		op.Data = nil // handed to the transport; don't checkpoint twice
+		op.Data = payload.Bytes{} // handed to the transport; don't checkpoint twice
 	}
 	switch c.State() {
 	case tcp.StateReset:

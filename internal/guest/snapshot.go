@@ -1,12 +1,13 @@
 package guest
 
 import (
-	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"sort"
 
 	"dvc/internal/netsim"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
 )
@@ -144,44 +145,64 @@ func Restore(k *sim.Kernel, fabric *netsim.Fabric, snap *Snapshot, wallClock fun
 	return o
 }
 
-// EncodeImage serialises a snapshot into the byte image that would be
-// written to checkpoint storage. It is the functional payload of a
-// checkpoint file; the *modelled* image size (all guest RAM) is larger
-// and accounted separately by the vm package.
-func EncodeImage(snap *Snapshot) ([]byte, error) {
-	var buf bytes.Buffer
-	return EncodeImageInto(&buf, snap)
+// EncodeImagePayload serialises a snapshot into the byte image that
+// would be written to checkpoint storage, as a chunked payload rope. It
+// is the functional payload of a checkpoint file; the *modelled* image
+// size (all guest RAM) is larger and accounted separately by the vm
+// package.
+//
+// The encoder streams directly into payload.Writer's fixed-size chunks,
+// which replaces the old bytes.Buffer + exact-size defensive copy: the
+// pre-rewrite path allocated (and memmoved) every image twice — once
+// growing the scratch buffer, once copying it out — every LSC epoch for
+// every VM in the set. The returned rope owns fresh chunks (images are
+// retained by the store, so there is nothing to recycle) and is
+// immutable per the payload contract. A fresh gob.Encoder per call is
+// required: gob emits type descriptors once per encoder stream, and
+// images must be self-describing.
+func EncodeImagePayload(snap *Snapshot) (payload.Bytes, error) {
+	w := payload.NewWriter(0)
+	if err := EncodeImageStream(snap, w); err != nil {
+		return payload.Bytes{}, err
+	}
+	return w.Take(), nil
 }
 
-// EncodeImageInto is EncodeImage with a caller-supplied scratch buffer:
-// the buffer is reset, the snapshot encoded into it, and the result
-// returned as a fresh exact-size copy (the buffer's grown capacity is
-// what gets reused, not the returned bytes). Hot save paths — a
-// coordinated LSC save encodes every VM in the set — keep one buffer per
-// hypervisor and avoid re-growing it on every capture. A fresh
-// gob.Encoder per call is required: gob emits type descriptors once per
-// encoder stream, and images must be self-describing.
-//
-// Note this is a plain scratch buffer, not a sync.Pool: hypervisors are
-// simulation state, single-threaded by design (one kernel per trial,
-// kernels never cross goroutines — see internal/fleet), so pooling
-// machinery with locks would add overhead and violate the dvclint
-// noconcurrency rule.
-func EncodeImageInto(buf *bytes.Buffer, snap *Snapshot) ([]byte, error) {
-	buf.Reset()
-	if err := gob.NewEncoder(buf).Encode(snap); err != nil {
-		return nil, fmt.Errorf("guest: encoding image: %w", err)
+// EncodeImageStream encodes snap through an arbitrary writer — the
+// lowest-level encode entry point. The hypervisor tees the stream
+// through its checksummer so the image CRC is computed on the bytes
+// while they are hot in cache, instead of re-reading the whole image in
+// a second pass after the encode.
+func EncodeImageStream(snap *Snapshot, w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("guest: encoding image: %w", err)
 	}
-	return append([]byte(nil), buf.Bytes()...), nil
+	return nil
+}
+
+// EncodeImage is EncodeImagePayload flattened to one contiguous slice,
+// for callers (tests, size probes) that want plain bytes.
+func EncodeImage(snap *Snapshot) ([]byte, error) {
+	img, err := EncodeImagePayload(snap)
+	if err != nil {
+		return nil, err
+	}
+	return img.Flatten(), nil
+}
+
+// DecodeImagePayload reverses EncodeImagePayload, streaming the decode
+// over the rope's chunks without flattening them first.
+func DecodeImagePayload(img payload.Bytes) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(payload.NewReader(img)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("guest: decoding image: %w", err)
+	}
+	return &snap, nil
 }
 
 // DecodeImage reverses EncodeImage.
 func DecodeImage(img []byte) (*Snapshot, error) {
-	var snap Snapshot
-	if err := gob.NewDecoder(bytes.NewReader(img)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("guest: decoding image: %w", err)
-	}
-	return &snap, nil
+	return DecodeImagePayload(payload.Wrap(img))
 }
 
 // SortedPIDs is a helper for deterministic iteration in tests.

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"dvc/internal/guest"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 )
 
@@ -88,9 +89,15 @@ func (op *SendMsg) step(rt *Runtime, api *guest.API, res guest.Result) (guest.Op
 	switch op.PC {
 	case 0:
 		op.PC = 1
-		frame := append(encodeHeader(op.Tag, len(op.Data)), op.Data...)
+		// Zero-copy framing: the wire message is a rope of [header,
+		// body] where the body chunk IS the application's buffer —
+		// no header+data frame is materialised. The application gave
+		// up mutation rights when it handed Data to Send (payload
+		// immutability contract); every byte it produced crosses
+		// mpi -> guest -> tcp -> netsim by reference.
+		frame := payload.FromChunks(encodeHeader(op.Tag, len(op.Data)), op.Data)
 		op.Data = nil
-		return guest.Send(rt.FDs[op.To], frame), false
+		return guest.SendPayload(rt.FDs[op.To], frame), false
 	default:
 		return nil, true
 	}

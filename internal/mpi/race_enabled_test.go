@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector is compiled in. The
+// copy-count gate skips under -race: instrumentation inflates allocation
+// totals far past what the data plane itself spends.
+const raceEnabled = true

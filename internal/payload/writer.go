@@ -1,0 +1,154 @@
+package payload
+
+import "io"
+
+// DefaultChunkSize is the chunk granularity Writer uses when the caller
+// does not specify one. 256 KiB keeps chunk-descriptor overhead
+// negligible for checkpoint-sized images while avoiding the quadratic
+// re-copying a growing contiguous buffer would pay.
+const DefaultChunkSize = 256 << 10
+
+// firstChunkSize is where small-write chunk sizing starts (it grows
+// geometrically up to the writer's chunkSize). Message-framed encoders
+// (gob) open with a handful of tiny descriptor writes before the bulk
+// payload arrives as one large write; starting small means those
+// openers neither zero nor pin a mostly-empty full-size chunk.
+const firstChunkSize = 4 << 10
+
+// Writer accumulates written bytes into chunks and hands them over as a
+// Bytes rope without a final exact-size copy. It replaces the
+// bytes.Buffer + defensive-copy pattern in checkpoint encoding: encode
+// through the Writer, then Take() the image.
+//
+// Chunk geometry is an implementation detail (ropes are
+// chunking-agnostic): small writes coalesce into chunks of roughly
+// chunkSize, while any single write of at least chunkSize bytes becomes
+// its own exactly-sized chunk, copied once with no spare capacity — and
+// therefore no zeroing of memory the copy would overwrite anyway. gob
+// emits each message as one Write, so the bulk of a checkpoint image
+// takes that path.
+//
+// The zero value is ready to use (DefaultChunkSize granularity).
+type Writer struct {
+	done      [][]byte // completed chunks, ownership with the writer
+	cur       []byte   // partially filled chunk (len < cap)
+	length    int
+	chunkSize int
+}
+
+var _ io.Writer = (*Writer)(nil)
+
+// NewWriter returns a Writer with the given chunk granularity
+// (DefaultChunkSize if chunkSize <= 0).
+func NewWriter(chunkSize int) *Writer {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &Writer{chunkSize: chunkSize}
+}
+
+// Write appends p to the accumulated content. It never fails.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.chunkSize <= 0 {
+		w.chunkSize = DefaultChunkSize
+	}
+	written := len(p)
+	w.length += written
+	for len(p) > 0 {
+		if w.cur == nil {
+			// Large-write fast path: the write becomes its own
+			// exactly-sized chunk. append over a nil destination
+			// allocates capacity == length, which the runtime does not
+			// zero first — unlike make-with-spare-capacity, which pays a
+			// full memclr for bytes the stream may never write.
+			if len(p) >= w.chunkSize {
+				c := append([]byte(nil), p...)
+				w.done = append(w.done, c[:len(c):len(c)])
+				return written, nil
+			}
+			// Small-write chunks grow geometrically from firstChunkSize
+			// up to chunkSize, so short streams stay cheap without
+			// penalising long ones.
+			size := w.chunkSize
+			if n := len(w.done); n < 7 {
+				if g := firstChunkSize << uint(n); g < size {
+					size = g
+				}
+			}
+			w.cur = make([]byte, 0, size)
+		}
+		room := cap(w.cur) - len(w.cur)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.cur = append(w.cur, p[:n]...)
+		p = p[n:]
+		if len(w.cur) == cap(w.cur) {
+			w.done = append(w.done, w.cur)
+			w.cur = nil
+		}
+	}
+	return written, nil
+}
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return w.length }
+
+// Take returns the accumulated content as a Bytes rope, transferring
+// chunk ownership to the rope (per the package immutability contract the
+// chunks must not be mutated afterwards), and resets the Writer for
+// reuse.
+func (w *Writer) Take() Bytes {
+	chunks := w.done
+	if len(w.cur) > 0 {
+		c := w.cur
+		if len(c)*2 < cap(c) {
+			// A mostly-empty tail chunk would pin its whole backing
+			// array for the life of the rope; shrink it to size.
+			c = append([]byte(nil), c...)
+		}
+		// Clip capacity so a future Flatten of a single-chunk rope
+		// cannot expose writable spare capacity.
+		chunks = append(chunks, c[:len(c):len(c)])
+	}
+	out := Bytes{chunks: chunks, length: w.length}
+	if len(chunks) == 0 {
+		out = Bytes{}
+	}
+	w.done, w.cur, w.length = nil, nil, 0
+	return out
+}
+
+// Reader streams a Bytes rope as an io.Reader without copying ahead of
+// the consumer's reads. It is the decode-side counterpart of Writer:
+// gob.NewDecoder(payload.NewReader(img)) decodes a chunked image without
+// first flattening it.
+type Reader struct {
+	b  Bytes
+	ci int // current chunk index
+	co int // offset within current chunk
+}
+
+var _ io.Reader = (*Reader)(nil)
+
+// NewReader returns a Reader over b starting at offset 0.
+func NewReader(b Bytes) *Reader { return &Reader{b: b} }
+
+// Read copies up to len(p) bytes into p, returning io.EOF at the end.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.ci >= len(r.b.chunks) {
+		return 0, io.EOF
+	}
+	total := 0
+	for total < len(p) && r.ci < len(r.b.chunks) {
+		c := r.b.chunks[r.ci]
+		n := copy(p[total:], c[r.co:])
+		total += n
+		r.co += n
+		if r.co == len(c) {
+			r.ci, r.co = r.ci+1, 0
+		}
+	}
+	return total, nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"dvc/internal/netsim"
 	"dvc/internal/obs"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 )
 
@@ -62,18 +63,26 @@ type Conn struct {
 	key   ConnKey
 	state State
 
-	// Send side. sendBuf holds bytes [sndUna, sndUna+len) — both unacked
-	// and not-yet-transmitted data.
+	// Send side. sendQ holds bytes [sndUna, sndUna+len) — both unacked
+	// and not-yet-transmitted data — as shared chunk references;
+	// segments carry zero-copy views into it, and ACK consumption
+	// releases chunk backing arrays instead of pinning them.
 	sndUna, sndNxt uint64
-	sendBuf        []byte
+	sendQ          chunkRing
 	closeRequested bool
 	finSent        bool
 	finAcked       bool
 
-	// Receive side.
+	// Receive side. recvQ accumulates in-order segment payloads by
+	// reference (the chunks are the sender's own send-queue chunks,
+	// shared across the simulated wire); ooo stashes out-of-order
+	// segment views, bounded by the receive window (== SendWindow in
+	// this symmetric stack), with rejected bytes counted in
+	// Stack.Stats.OOODroppedBytes.
 	rcvNxt    uint64
-	recvBuf   []byte
-	ooo       map[uint64][]byte // out-of-order segments keyed by seq
+	recvQ     chunkRing
+	ooo       map[uint64]payload.Bytes // out-of-order segments keyed by seq
+	oooBytes  int                      // total bytes stashed in ooo
 	remoteFin bool
 	finRcvd   bool // FIN consumed into rcvNxt
 
@@ -114,9 +123,20 @@ func (c *Conn) RemoteAddr() netsim.Addr { return c.key.RemoteAddr }
 // RTO returns the current retransmission timeout.
 func (c *Conn) RTO() sim.Time { return c.rto }
 
-// Write queues data for transmission. It never blocks; the guest layer is
-// responsible for modelling back-pressure via SendBacklog.
+// Write queues data for transmission without copying it: the slice's
+// chunks enter the send queue by reference, so the caller hands over
+// visibility of data under the payload package's immutability contract
+// (build a fresh buffer per message; never mutate it afterwards). Write
+// never blocks; the guest layer is responsible for modelling
+// back-pressure via SendBacklog.
 func (c *Conn) Write(data []byte) error {
+	return c.WritePayload(payload.Wrap(data))
+}
+
+// WritePayload queues a rope for transmission by reference — the
+// zero-copy entry point the mpi framing layer uses to send
+// header+body messages without materialising the frame.
+func (c *Conn) WritePayload(p payload.Bytes) error {
 	switch c.state {
 	case StateReset:
 		return ErrReset
@@ -126,28 +146,37 @@ func (c *Conn) Write(data []byte) error {
 	if c.closeRequested {
 		return ErrClosed
 	}
-	c.sendBuf = append(c.sendBuf, data...)
+	c.sendQ.push(p)
 	c.trySend()
 	return nil
 }
 
 // SendBacklog reports bytes queued but not yet acknowledged.
-func (c *Conn) SendBacklog() int { return len(c.sendBuf) }
+func (c *Conn) SendBacklog() int { return c.sendQ.len() }
 
 // Readable reports how many bytes are ready for the application.
-func (c *Conn) Readable() int { return len(c.recvBuf) }
+func (c *Conn) Readable() int { return c.recvQ.len() }
 
 // EOF reports whether the peer has closed its direction and all data has
 // been drained.
-func (c *Conn) EOF() bool { return c.finRcvd && len(c.recvBuf) == 0 }
+func (c *Conn) EOF() bool { return c.finRcvd && c.recvQ.len() == 0 }
 
-// Read consumes up to n bytes from the receive buffer.
+// Read consumes up to n bytes from the receive queue as a contiguous
+// slice, flattening across segment boundaries if the range spans
+// multiple received chunks (the application-delivery copy — the only
+// one left on the receive path).
 func (c *Conn) Read(n int) []byte {
-	if n > len(c.recvBuf) {
-		n = len(c.recvBuf)
+	return c.ReadPayload(n).Flatten()
+}
+
+// ReadPayload consumes up to n bytes from the receive queue as a
+// zero-copy rope over the received chunks.
+func (c *Conn) ReadPayload(n int) payload.Bytes {
+	if n > c.recvQ.len() {
+		n = c.recvQ.len()
 	}
-	out := c.recvBuf[:n:n]
-	c.recvBuf = c.recvBuf[n:]
+	out := c.recvQ.view(0, n)
+	c.recvQ.consume(n)
 	return out
 }
 
@@ -188,7 +217,7 @@ func (c *Conn) trySend() {
 	inFlight := func() int { return int(c.sndNxt - c.sndUna) }
 	sent := false
 	for {
-		unsent := int(c.sndUna) + len(c.sendBuf) - int(c.sndNxt)
+		unsent := int(c.sndUna) + c.sendQ.len() - int(c.sndNxt)
 		if unsent <= 0 || inFlight() >= c.stack.cfg.SendWindow {
 			break
 		}
@@ -200,7 +229,7 @@ func (c *Conn) trySend() {
 			n = room
 		}
 		off := int(c.sndNxt - c.sndUna)
-		data := c.sendBuf[off : off+n : off+n]
+		data := c.sendQ.view(off, n)
 		seg := &Segment{Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Data: data}
 		// Time this segment for RTT if nothing is being timed.
 		if c.rttSeq == 0 {
@@ -213,7 +242,7 @@ func (c *Conn) trySend() {
 		sent = true
 	}
 	// FIN once everything queued has been transmitted.
-	if c.closeRequested && !c.finSent && int(c.sndNxt-c.sndUna) == len(c.sendBuf) {
+	if c.closeRequested && !c.finSent && int(c.sndNxt-c.sndUna) == c.sendQ.len() {
 		c.sendSegment(&Segment{Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt})
 		c.sndNxt++
 		c.finSent = true
@@ -291,7 +320,7 @@ func (c *Conn) retransmitHead() {
 		c.sendSegment(&Segment{Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt})
 		return
 	}
-	dataLen := len(c.sendBuf)
+	dataLen := c.sendQ.len()
 	if dataLen > 0 && c.sndNxt > c.sndUna {
 		// Resend first segment of unacked data.
 		n := dataLen
@@ -302,7 +331,7 @@ func (c *Conn) retransmitHead() {
 			n = avail
 		}
 		if n > 0 {
-			seg := &Segment{Flags: FlagACK, Seq: c.sndUna, Ack: c.rcvNxt, Data: c.sendBuf[:n:n]}
+			seg := &Segment{Flags: FlagACK, Seq: c.sndUna, Ack: c.rcvNxt, Data: c.sendQ.view(0, n)}
 			c.sendSegment(seg)
 			// Go-back-N: anything beyond the head is presumed lost and
 			// will be re-sent by trySend; a previously sent FIN moves
@@ -379,7 +408,7 @@ func (c *Conn) handle(seg *Segment) {
 	if seg.Flags.Has(FlagACK) {
 		c.processAck(seg.Ack)
 	}
-	if len(seg.Data) > 0 {
+	if seg.Data.Len() > 0 {
 		c.processData(seg)
 	}
 	if seg.Flags.Has(FlagFIN) {
@@ -404,10 +433,12 @@ func (c *Conn) processAck(ack uint64) {
 			bufAdvance--
 		}
 	}
-	if int(bufAdvance) > len(c.sendBuf) {
-		bufAdvance = uint64(len(c.sendBuf))
+	if int(bufAdvance) > c.sendQ.len() {
+		bufAdvance = uint64(c.sendQ.len())
 	}
-	c.sendBuf = c.sendBuf[bufAdvance:]
+	// Acked bytes leave the queue; fully consumed chunks release their
+	// backing arrays (no reslice-pinning).
+	c.sendQ.consume(int(bufAdvance))
 	c.sndUna = ack
 	c.retries = 0
 
@@ -473,7 +504,7 @@ func (c *Conn) refreshRTO() {
 }
 
 func (c *Conn) processData(seg *Segment) {
-	end := seg.Seq + uint64(len(seg.Data))
+	end := seg.Seq + uint64(seg.Data.Len())
 	switch {
 	case end <= c.rcvNxt:
 		// Complete duplicate (e.g. our ACK was lost at the snapshot —
@@ -481,16 +512,32 @@ func (c *Conn) processData(seg *Segment) {
 		c.DupSegments++
 		c.sendAck()
 	case seg.Seq > c.rcvNxt:
-		// Out of order: stash and duplicate-ACK.
-		if c.ooo == nil {
-			c.ooo = make(map[uint64][]byte)
+		// Out of order: stash a zero-copy view and duplicate-ACK. The
+		// stash is bounded by the receive window (this symmetric stack
+		// advertises SendWindow both ways): an honest go-back-N peer
+		// never sends past rcvNxt+window, because its sndUna can only
+		// trail our rcvNxt — so the bound drops nothing in normal
+		// operation and exists to stop a buggy or hostile peer from
+		// growing the map without limit.
+		if end > c.rcvNxt+uint64(c.stack.cfg.SendWindow) {
+			c.stack.Stats.OOODroppedBytes += uint64(seg.Data.Len())
+			c.sendAck()
+			return
 		}
-		c.ooo[seg.Seq] = append([]byte(nil), seg.Data...)
+		if c.ooo == nil {
+			c.ooo = make(map[uint64]payload.Bytes)
+		}
+		if old, dup := c.ooo[seg.Seq]; dup {
+			c.oooBytes -= old.Len()
+		}
+		c.ooo[seg.Seq] = seg.Data
+		c.oooBytes += seg.Data.Len()
 		c.sendAck()
 	default:
-		// In order (possibly with an already-received prefix).
-		skip := c.rcvNxt - seg.Seq
-		c.recvBuf = append(c.recvBuf, seg.Data[skip:]...)
+		// In order (possibly with an already-received prefix). The
+		// segment's chunks enter the receive queue by reference.
+		skip := int(c.rcvNxt - seg.Seq)
+		c.recvQ.push(seg.Data.Slice(skip, seg.Data.Len()))
 		c.rcvNxt = end
 		// Drain contiguous out-of-order segments.
 		for {
@@ -499,8 +546,9 @@ func (c *Conn) processData(seg *Segment) {
 				break
 			}
 			delete(c.ooo, c.rcvNxt)
-			c.recvBuf = append(c.recvBuf, data...)
-			c.rcvNxt += uint64(len(data))
+			c.oooBytes -= data.Len()
+			c.recvQ.push(data)
+			c.rcvNxt += uint64(data.Len())
 		}
 		c.sendAck()
 		if c.OnReadable != nil {
@@ -510,7 +558,7 @@ func (c *Conn) processData(seg *Segment) {
 }
 
 func (c *Conn) processFin(seg *Segment) {
-	finSeq := seg.Seq + uint64(len(seg.Data))
+	finSeq := seg.Seq + uint64(seg.Data.Len())
 	if finSeq != c.rcvNxt {
 		// FIN for data we have not seen yet (or a duplicate): if it is a
 		// duplicate, re-ACK.

@@ -23,6 +23,7 @@ package tcp
 import (
 	"fmt"
 
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 )
 
@@ -64,19 +65,26 @@ const HeaderSize = 40
 
 // Segment is one TCP segment. Sequence numbers are 64-bit and never wrap;
 // the simulation does not move enough bytes for wrap-around to matter.
+//
+// Data is a zero-copy view into the sender's send queue: putting a
+// segment "on the wire" (a netsim delivery record) shares the sender's
+// chunks with the receiver instead of copying payload bytes. This is
+// safe under the payload package's immutability contract — chunks are
+// never mutated once queued, and everything runs on one kernel's event
+// loop.
 type Segment struct {
 	SrcPort, DstPort uint16
 	Seq, Ack         uint64
 	Flags            Flags
-	Data             []byte
+	Data             payload.Bytes
 }
 
 // WireSize is the segment's size on the fabric.
-func (s *Segment) WireSize() int { return HeaderSize + len(s.Data) }
+func (s *Segment) WireSize() int { return HeaderSize + s.Data.Len() }
 
 func (s *Segment) String() string {
 	return fmt.Sprintf("[%d->%d %s seq=%d ack=%d len=%d]",
-		s.SrcPort, s.DstPort, s.Flags, s.Seq, s.Ack, len(s.Data))
+		s.SrcPort, s.DstPort, s.Flags, s.Seq, s.Ack, s.Data.Len())
 }
 
 // Config tunes the transport. The retry budget — the sum of backed-off

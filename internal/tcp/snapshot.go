@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"dvc/internal/netsim"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 )
 
@@ -71,17 +72,23 @@ func (s *Stack) Snapshot() *StackSnapshot {
 	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
 	snap.ListenerPorts = ports
 	for _, c := range s.Conns() {
+		// The queues flatten here — the checkpoint boundary — into
+		// fresh contiguous buffers. On the hot path segments and reads
+		// are zero-copy views over shared chunks; an image, by
+		// contrast, must not alias live simulation state (it outlives
+		// the connection and may be restored on another node), so this
+		// is the one place the send/receive queues are copied.
 		cs := ConnSnapshot{
 			Key:            c.key,
 			State:          c.state,
 			SndUna:         c.sndUna,
 			SndNxt:         c.sndNxt,
-			SendBuf:        append([]byte(nil), c.sendBuf...),
+			SendBuf:        c.sendQ.copyOut(),
 			CloseRequested: c.closeRequested,
 			FinSent:        c.finSent,
 			FinAcked:       c.finAcked,
 			RcvNxt:         c.rcvNxt,
-			RecvBuf:        append([]byte(nil), c.recvBuf...),
+			RecvBuf:        c.recvQ.copyOut(),
 			RemoteFin:      c.remoteFin,
 			FinRcvd:        c.finRcvd,
 			RTO:            c.rto,
@@ -95,8 +102,14 @@ func (s *Stack) Snapshot() *StackSnapshot {
 		}
 		if len(c.ooo) > 0 {
 			cs.OOO = make(map[uint64][]byte, len(c.ooo))
-			for seq, data := range c.ooo {
-				cs.OOO[seq] = append([]byte(nil), data...)
+			seqs := make([]uint64, 0, len(c.ooo))
+			for seq := range c.ooo {
+				seqs = append(seqs, seq)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			for _, seq := range seqs {
+				data := c.ooo[seq]
+				cs.OOO[seq] = data.AppendTo(make([]byte, 0, data.Len()))
 			}
 		}
 		snap.Conns = append(snap.Conns, cs)
@@ -125,12 +138,10 @@ func RestoreStack(k *sim.Kernel, fabric *netsim.Fabric, snap *StackSnapshot) *St
 			state:          cs.State,
 			sndUna:         cs.SndUna,
 			sndNxt:         cs.SndNxt,
-			sendBuf:        append([]byte(nil), cs.SendBuf...),
 			closeRequested: cs.CloseRequested,
 			finSent:        cs.FinSent,
 			finAcked:       cs.FinAcked,
 			rcvNxt:         cs.RcvNxt,
-			recvBuf:        append([]byte(nil), cs.RecvBuf...),
 			remoteFin:      cs.RemoteFin,
 			finRcvd:        cs.FinRcvd,
 			rto:            cs.RTO,
@@ -142,10 +153,23 @@ func RestoreStack(k *sim.Kernel, fabric *netsim.Fabric, snap *StackSnapshot) *St
 			Retransmits:    cs.Retransmits,
 			DupSegments:    cs.DupSegments,
 		}
+		// The snapshot's buffers enter the restored queues by reference
+		// (single-chunk ropes): Snapshot already produced fresh copies,
+		// and snapshots are pure data under the payload immutability
+		// contract — the same image can even be restored repeatedly,
+		// since the queues only ever read the shared chunks.
+		c.sendQ.push(payload.Wrap(cs.SendBuf))
+		c.recvQ.push(payload.Wrap(cs.RecvBuf))
 		if len(cs.OOO) > 0 {
-			c.ooo = make(map[uint64][]byte, len(cs.OOO))
-			for seq, data := range cs.OOO {
-				c.ooo[seq] = append([]byte(nil), data...)
+			c.ooo = make(map[uint64]payload.Bytes, len(cs.OOO))
+			seqs := make([]uint64, 0, len(cs.OOO))
+			for seq := range cs.OOO {
+				seqs = append(seqs, seq)
+			}
+			sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+			for _, seq := range seqs {
+				c.ooo[seq] = payload.Wrap(cs.OOO[seq])
+				c.oooBytes += len(cs.OOO[seq])
 			}
 		}
 		s.conns[c.key] = c
@@ -160,4 +184,3 @@ func (s *Stack) SetListenerAccept(port uint16, onAccept func(*Conn)) {
 		l.OnAccept = onAccept
 	}
 }
-

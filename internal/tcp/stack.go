@@ -9,6 +9,22 @@ import (
 	"dvc/internal/sim"
 )
 
+// Stats are diagnostic data-plane counters. Unlike SegmentsSent/Rcvd
+// and the per-connection counters captured in StackSnapshot, Stats
+// deliberately stays OUT of the checkpoint image: adding fields here
+// must not change the gob encoding (and hence the byte size) of saved
+// VM images. Like the tracer, it is host-side observability that does
+// not travel with snapshots.
+type Stats struct {
+	// OOODroppedBytes counts payload bytes of out-of-order segments
+	// rejected because they ended beyond the receive window
+	// (rcvNxt + SendWindow; this symmetric stack advertises its send
+	// window as its receive window). An honest go-back-N peer never
+	// triggers this — its unacknowledged span can only trail our
+	// rcvNxt — so a non-zero count indicates a buggy or hostile peer.
+	OOODroppedBytes uint64
+}
+
 // Listener accepts incoming connections on a local port.
 type Listener struct {
 	Port uint16
@@ -40,6 +56,10 @@ type Stack struct {
 	// SegmentsSent/SegmentsRcvd count transport activity for experiments.
 	SegmentsSent uint64
 	SegmentsRcvd uint64
+
+	// Stats holds diagnostic counters that do not travel with snapshots
+	// (see the Stats type).
+	Stats Stats
 }
 
 // NewStack creates a stack bound to addr on the fabric. The caller is

@@ -126,7 +126,7 @@ func TestLostDataSegmentIsRetransmitted(t *testing.T) {
 	dropped := false
 	p.fabric.DropRule = func(pkt netsim.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
-		if ok && len(seg.Data) > 0 && !dropped {
+		if ok && seg.Data.Len() > 0 && !dropped {
 			dropped = true
 			return true
 		}
@@ -153,7 +153,7 @@ func TestLostAckCausesDuplicateWhichIsReAcked(t *testing.T) {
 	dropped := false
 	p.fabric.DropRule = func(pkt netsim.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
-		if ok && pkt.Src == netsim.Addr("B") && seg.Flags.Has(FlagACK) && len(seg.Data) == 0 && !dropped {
+		if ok && pkt.Src == netsim.Addr("B") && seg.Flags.Has(FlagACK) && seg.Data.Len() == 0 && !dropped {
 			dropped = true
 			return true
 		}
@@ -241,7 +241,7 @@ func TestAckResetsRetryCount(t *testing.T) {
 	losses := 0
 	p.fabric.DropRule = func(pkt netsim.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
-		if ok && len(seg.Data) > 0 && losses < 2 {
+		if ok && seg.Data.Len() > 0 && losses < 2 {
 			losses++
 			return true
 		}
@@ -482,7 +482,7 @@ func TestScenario2LostAckAtSnapshot(t *testing.T) {
 	// Let the data through but drop ACKs from B.
 	p.fabric.DropRule = func(pkt netsim.Packet) bool {
 		seg, ok := pkt.Payload.(*Segment)
-		return ok && pkt.Src == netsim.Addr("B") && len(seg.Data) == 0 && seg.Flags.Has(FlagACK) && !seg.Flags.Has(FlagSYN)
+		return ok && pkt.Src == netsim.Addr("B") && seg.Data.Len() == 0 && seg.Flags.Has(FlagACK) && !seg.Flags.Has(FlagSYN)
 	}
 	ca.Write([]byte("exactly once"))
 	p.k.RunFor(10 * sim.Millisecond)
@@ -576,7 +576,7 @@ func TestSnapshotIsDeepCopy(t *testing.T) {
 	p.sa.Freeze()
 	snap := p.sa.Snapshot()
 	snap.Conns[0].SendBuf[0] = 'X'
-	if ca.sendBuf[0] == 'X' {
+	if ca.sendQ.view(0, 1).At(0) == 'X' {
 		t.Fatal("snapshot aliases live buffers")
 	}
 }

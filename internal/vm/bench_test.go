@@ -1,0 +1,123 @@
+package vm
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"dvc/internal/clock"
+	"dvc/internal/guest"
+	"dvc/internal/netsim"
+	"dvc/internal/phys"
+	"dvc/internal/sim"
+)
+
+func init() {
+	gob.Register(&ballastProg{})
+}
+
+// ballastProg is a guest program whose only job is to give the VM image a
+// realistic functional payload: Buf models application state (for HPL,
+// the matrix panels) that a whole-VM checkpoint must serialise.
+type ballastProg struct {
+	Buf []byte
+	I   int
+}
+
+func (p *ballastProg) Next(api *guest.API, res guest.Result) guest.Op {
+	p.I++
+	return guest.Sleep(sim.Second)
+}
+
+// benchCluster boots doms domains, each holding stateBytes of guest
+// state, runs them briefly, and pauses them all (the LSC save point).
+func benchCluster(tb testing.TB, doms, stateBytes int) []*Domain {
+	k := sim.NewKernel(11)
+	f := netsim.NewFabric(k)
+	f.AddCluster("alpha", netsim.EthernetGigE())
+	site := phys.NewSite(k, clock.DefaultConfig(), clock.DefaultNTPConfig())
+	nodes := site.AddCluster("alpha", doms, phys.DefaultSpec(), netsim.EthernetGigE())
+	out := make([]*Domain, doms)
+	for i, n := range nodes {
+		h := NewHypervisor(k, f, n, DefaultXenConfig())
+		d, err := h.CreateDomain(fmt.Sprintf("d%d", i), netsim.Addr(fmt.Sprintf("vm%d", i)), 1<<30, guest.WatchdogConfig{}, nil)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[i] = d
+	}
+	k.RunFor(30 * sim.Second) // boot
+	for i, d := range out {
+		if d.State() != StateRunning {
+			tb.Fatalf("domain %d is %v, want Running", i, d.State())
+		}
+		buf := make([]byte, stateBytes)
+		for j := range buf {
+			buf[j] = byte(j)
+		}
+		d.OS().Spawn(&ballastProg{Buf: buf})
+	}
+	k.RunFor(5 * sim.Second)
+	for _, d := range out {
+		if err := d.Pause(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return out
+}
+
+// BenchmarkLSCSaveSet measures one coordinated LSC save set: capture an
+// image of every paused domain in the virtual cluster, exactly as the
+// Coordinator's save phase does once per epoch. The interesting numbers
+// are B/op and allocs/op per epoch: the pre-rewrite capture path encoded
+// each guest into a scratch buffer and then took an exact-size defensive
+// copy of the whole image, so every epoch allocated (and memmoved) every
+// image twice.
+//
+// With DVC_BENCH_JSON=<path> the result is appended to the
+// BENCH_dataplane artifact. Run:
+//
+//	go test -run '^$' -bench BenchmarkLSCSaveSet -benchmem ./internal/vm
+func BenchmarkLSCSaveSet(b *testing.B) {
+	const doms = 8
+	const stateBytes = 1 << 20
+	set := benchCluster(b, doms, stateBytes)
+	var imageBytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imageBytes = 0
+		for _, d := range set {
+			img, err := d.CaptureImage()
+			if err != nil {
+				b.Fatal(err)
+			}
+			imageBytes += imageLen(img)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(imageBytes)/float64(doms), "imgB/domain")
+
+	if path := os.Getenv("DVC_BENCH_JSON"); path != "" {
+		doc := struct {
+			Benchmark  string `json:"benchmark"`
+			N          int    `json:"n"`
+			Domains    int    `json:"domains"`
+			ImageBytes int64  `json:"image_bytes_per_epoch"`
+		}{"BenchmarkLSCSaveSet", b.N, doms, imageBytes}
+		data, err := json.Marshal(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "%s\n", data)
+	}
+}
+
+// imageLen reports the functional image payload length.
+func imageLen(img *Image) int64 { return int64(img.Data.Len()) }

@@ -73,7 +73,7 @@ func TestIncrementalImageSize(t *testing.T) {
 		t.Fatalf("incremental size %d, want 50MB+%d meta", img.SizeBytes(), meta)
 	}
 	// The functional payload is still the complete guest.
-	if _, err := guest.DecodeImage(img.Data); err != nil {
+	if _, err := guest.DecodeImagePayload(img.Data); err != nil {
 		t.Fatalf("incremental image not self-contained: %v", err)
 	}
 	// A full image of the same domain is the whole RAM.

@@ -12,7 +12,6 @@
 package vm
 
 import (
-	"bytes"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -20,6 +19,7 @@ import (
 	"dvc/internal/guest"
 	"dvc/internal/netsim"
 	"dvc/internal/obs"
+	"dvc/internal/payload"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
@@ -84,12 +84,16 @@ func (s DomainState) String() string {
 	}
 }
 
-// Image is a saved domain: the whole-VM checkpoint artifact.
+// Image is a saved domain: the whole-VM checkpoint artifact. Data is a
+// chunked payload rope produced by the streaming encoder — the image is
+// immutable from the moment it is captured (the checksum enforces as
+// much at restore time), so the chunks are shared, never copied, as the
+// image moves through the store and restore paths.
 type Image struct {
 	DomainName string
 	Addr       netsim.Addr
 	RAMBytes   int64 // guest memory size
-	Data       []byte
+	Data       payload.Bytes
 	CapturedAt sim.Time
 	// Checksum guards the functional payload: a restore of a corrupted
 	// image must fail loudly, not resurrect a damaged guest.
@@ -101,9 +105,34 @@ type Image struct {
 	PayloadBytes int64
 }
 
+// imageChecksum computes the IEEE CRC-32 of a rope without flattening
+// it (CRC-32 streams: updating chunk by chunk equals checksumming the
+// concatenation).
+func imageChecksum(data payload.Bytes) uint32 {
+	var crc uint32
+	for _, c := range data.Chunks() {
+		crc = crc32.Update(crc, crc32.IEEETable, c)
+	}
+	return crc
+}
+
+// crcTee forwards writes to the underlying payload writer while folding
+// them into a running CRC-32, so capture checksums the image bytes as
+// they stream out of the encoder (hot in cache) instead of re-reading
+// the finished image in a second pass.
+type crcTee struct {
+	w   *payload.Writer
+	crc uint32
+}
+
+func (t *crcTee) Write(p []byte) (int, error) {
+	t.crc = crc32.Update(t.crc, crc32.IEEETable, p)
+	return t.w.Write(p)
+}
+
 // Verify recomputes the payload checksum.
 func (img *Image) Verify() error {
-	if img.Checksum != crc32.ChecksumIEEE(img.Data) {
+	if img.Checksum != imageChecksum(img.Data) {
 		return fmt.Errorf("vm: image %s is corrupted (checksum mismatch)", img.DomainName)
 	}
 	return nil
@@ -188,14 +217,20 @@ func (d *Domain) Unpause() error {
 // state copying; the time to dump the image to disk or the wire is
 // charged by the caller via SaveDuration (hypervisors overlap dumps
 // across nodes, so pacing belongs to the orchestration layer).
+//
+// The guest encoder streams directly into the image's chunks: the
+// pre-rewrite path encoded into a scratch buffer and took an exact-size
+// defensive copy of the whole image, so every LSC epoch allocated (and
+// memmoved) every image twice.
 func (d *Domain) CaptureImage() (*Image, error) {
 	if d.state != StatePaused {
 		return nil, fmt.Errorf("vm: capture %s: domain is %v, must be paused", d.name, d.state)
 	}
-	data, err := guest.EncodeImageInto(&d.hv.encBuf, d.os.Snapshot())
-	if err != nil {
+	tee := crcTee{w: payload.NewWriter(0)}
+	if err := guest.EncodeImageStream(d.os.Snapshot(), &tee); err != nil {
 		return nil, fmt.Errorf("vm: capture %s: %w", d.name, err)
 	}
+	data := tee.w.Take()
 	d.hv.trace(obs.EvVMSave, d.name, "save", obs.Int("ram", d.ram))
 	d.hv.tracer.Inc("vm.saves", 1)
 	return &Image{
@@ -204,7 +239,7 @@ func (d *Domain) CaptureImage() (*Image, error) {
 		RAMBytes:   d.ram,
 		Data:       data,
 		CapturedAt: d.hv.kernel.Now(),
-		Checksum:   crc32.ChecksumIEEE(data),
+		Checksum:   tee.crc,
 	}, nil
 }
 
@@ -233,13 +268,6 @@ type Hypervisor struct {
 	tcpCfg  tcp.Config
 	domains map[string]*Domain
 	tracer  *obs.Tracer
-
-	// encBuf is the per-hypervisor gob scratch buffer for CaptureImage:
-	// a coordinated save encodes every hosted domain, and reusing one
-	// grown buffer avoids re-allocating the encoder's backing array each
-	// time. Safe without locks because each hypervisor belongs to exactly
-	// one kernel and kernels never cross goroutines (internal/fleet).
-	encBuf bytes.Buffer
 }
 
 // NewHypervisor installs a hypervisor on a node. If the node crashes, all
@@ -366,7 +394,7 @@ func (h *Hypervisor) RestoreDomain(img *Image, wallClockOverride func() sim.Time
 	if err := img.Verify(); err != nil {
 		return nil, err
 	}
-	snap, err := guest.DecodeImage(img.Data)
+	snap, err := guest.DecodeImagePayload(img.Data)
 	if err != nil {
 		return nil, fmt.Errorf("vm: restore %s: %w", img.DomainName, err)
 	}

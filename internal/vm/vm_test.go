@@ -7,6 +7,7 @@ import (
 
 	"dvc/internal/guest"
 	"dvc/internal/netsim"
+	"dvc/internal/payload"
 	"dvc/internal/phys"
 	"dvc/internal/sim"
 	"dvc/internal/tcp"
@@ -380,7 +381,7 @@ func TestImagePayloadIsSelfContained(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snap, err := guest.DecodeImage(img.Data)
+	snap, err := guest.DecodeImagePayload(img.Data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,8 +419,12 @@ func TestCorruptedImageRefusedAtRestore(t *testing.T) {
 		t.Fatalf("fresh image fails verification: %v", err)
 	}
 	d.Destroy()
-	// Bit-rot in the stored image.
-	img.Data[len(img.Data)/2] ^= 0x40
+	// Bit-rot in the stored image. The rope's chunks are immutable, so
+	// corruption is modelled by rebuilding the payload around a flipped
+	// bit rather than mutating shared chunks in place.
+	flat := append([]byte(nil), img.Data.Flatten()...)
+	flat[len(flat)/2] ^= 0x40
+	img.Data = payload.Wrap(flat)
 	if _, err := e.hv(1).RestoreDomain(img, nil); err == nil {
 		t.Fatal("corrupted image restored without error")
 	}
