@@ -15,6 +15,11 @@
 //	mapiter       - no effectful iteration over maps in unspecified order
 //	noconcurrency - no goroutines/channels/sync in the deterministic core
 //	gobsafe       - no silently-dropped or unencodable checkpoint fields
+//	snapshotstate - whole-graph reachability from //dvc:checkpoint-root
+//	                types and gob.Register payloads; also generates the
+//	                committed STATE_MANIFEST.txt golden file
+//	noalloc       - no allocating constructs in //dvc:hotpath functions
+//	fleetscope    - fleet worker closures must not capture kernel state
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer / Pass / Diagnostic, analysistest-style fixtures) but is
@@ -30,7 +35,11 @@
 //
 //	//lint:allow <analyzer>[,<analyzer>...] <why this is safe>
 //
-// Suppressions are meant to be rare and auditable; grep for lint:allow.
+// The <why> text is mandatory: an unjustified directive does not suppress
+// and is itself reported, as are directives naming unknown analyzers and
+// stale directives that no longer suppress anything (all under the
+// pseudo-analyzer "lintdirective"). Suppressions are meant to be rare and
+// auditable; grep for lint:allow.
 package analysis
 
 import (
@@ -113,9 +122,17 @@ func NewInfo() *types.Info {
 // Run executes the analyzers over the package, filters findings through
 // the //lint:allow directives found in the sources, deduplicates, and
 // returns the surviving diagnostics sorted by position.
+//
+// The directives themselves are vetted too, under the pseudo-analyzer
+// name DirectiveAnalyzer: a suppression without a justification does not
+// suppress and is reported, as is one naming an unknown analyzer, and a
+// justified suppression that suppressed nothing (relative to the
+// analyzers that actually ran) is reported as stale.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			PkgPath:   pkg.PkgPath,
@@ -144,18 +161,37 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		seen[key] = true
 		out = append(out, d)
 	}
+	out = append(out, allows.vet(ran)...)
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out, nil
 }
 
-// allowSet records, per file and line, which analyzers have been waived.
-type allowSet map[string]map[int]map[string]bool // file -> line -> analyzer
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos       token.Pos
+	names     []string // analyzer names (or "all")
+	justified bool     // non-empty <why> text followed the names
+	used      bool     // suppressed at least one diagnostic this run
+}
+
+// allowSet indexes the directives by file and line for suppression
+// lookup, keeping the full list for directive vetting.
+type allowSet struct {
+	byLine map[string]map[int][]*allowDirective
+	list   []*allowDirective
+}
 
 // AllowDirective is the comment prefix of a suppression.
 const AllowDirective = "lint:allow"
 
-func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
-	set := make(allowSet)
+// DirectiveAnalyzer is the pseudo-analyzer name under which malformed,
+// unknown-name and stale //lint:allow directives are reported. It is not
+// itself suppressible: the directive checks exist to keep the
+// suppression inventory auditable.
+const DirectiveAnalyzer = "lintdirective"
+
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowSet {
+	set := &allowSet{byLine: make(map[string]map[int][]*allowDirective)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -166,25 +202,22 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 				}
 				rest := strings.TrimSpace(strings.TrimPrefix(text, AllowDirective))
 				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					set[pos.Filename] = byLine
-				}
-				names := byLine[pos.Line]
-				if names == nil {
-					names = make(map[string]bool)
-					byLine[pos.Line] = names
-				}
-				for _, name := range strings.Split(fields[0], ",") {
-					if name != "" {
-						names[name] = true
+				d := &allowDirective{pos: c.Pos(), justified: len(fields) >= 2}
+				if len(fields) > 0 {
+					for _, name := range strings.Split(fields[0], ",") {
+						if name != "" {
+							d.names = append(d.names, name)
+						}
 					}
 				}
+				set.list = append(set.list, d)
+				pos := fset.Position(c.Pos())
+				byLine := set.byLine[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*allowDirective)
+					set.byLine[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
 			}
 		}
 	}
@@ -192,19 +225,74 @@ func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 }
 
 // allowed reports whether a diagnostic from the named analyzer at pos is
-// suppressed: an allow directive counts when it sits on the same line
-// (trailing comment) or on the line immediately above the finding.
-func (s allowSet) allowed(analyzer string, pos token.Position) bool {
-	byLine := s[pos.Filename]
+// suppressed: a justified allow directive counts when it sits on the
+// same line (trailing comment) or on the line immediately above the
+// finding. An unjustified directive never suppresses.
+func (s *allowSet) allowed(analyzer string, pos token.Position) bool {
+	byLine := s.byLine[pos.Filename]
 	if byLine == nil {
 		return false
 	}
+	ok := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		if names := byLine[line]; names != nil && (names[analyzer] || names["all"]) {
-			return true
+		for _, d := range byLine[line] {
+			if !d.justified {
+				continue
+			}
+			for _, name := range d.names {
+				if name == analyzer || name == "all" {
+					d.used = true
+					ok = true
+				}
+			}
 		}
 	}
-	return false
+	return ok
+}
+
+// vet turns directive problems into diagnostics: missing justification,
+// unknown analyzer names, and justified suppressions that suppressed
+// nothing (judged only against the analyzers that ran, so a partial
+// -run invocation never misreports staleness).
+func (s *allowSet) vet(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		out = append(out, Diagnostic{Pos: pos, Analyzer: DirectiveAnalyzer, Message: fmt.Sprintf(format, args...)})
+	}
+	for _, d := range s.list {
+		if len(d.names) == 0 {
+			report(d.pos, "malformed suppression: //lint:allow needs an analyzer list and a justification (//lint:allow <analyzer>[,<analyzer>] <why this is safe>)")
+			continue
+		}
+		for _, name := range d.names {
+			if name != "all" && ByName(name) == nil {
+				report(d.pos, "suppression names unknown analyzer %q (run dvclint -list for the suite)", name)
+			}
+		}
+		if !d.justified {
+			report(d.pos, "suppression of %s has no justification: every //lint:allow must say why the pattern is safe (//lint:allow %s <why>)",
+				strings.Join(d.names, ","), strings.Join(d.names, ","))
+			continue
+		}
+		if d.used {
+			continue
+		}
+		// Stale only when every named analyzer actually ran. An "all"
+		// directive is never judged: any analyzer outside this run could
+		// be its reason for existing (one more reason to prefer naming
+		// analyzers explicitly).
+		judgeable := true
+		for _, name := range d.names {
+			if name == "all" || !ran[name] {
+				judgeable = false
+			}
+		}
+		if judgeable {
+			report(d.pos, "stale suppression: //lint:allow %s matches no finding on this line; delete it",
+				strings.Join(d.names, ","))
+		}
+	}
+	return out
 }
 
 // --- shared helpers used by several analyzers ---

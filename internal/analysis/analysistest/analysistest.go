@@ -42,6 +42,21 @@ import (
 // // want comments through t.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	p := Load(t, pkg)
+	diags, err := analysis.Run(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	check(t, p.Fset, p.Files, diags)
+}
+
+// Load parses and type-checks the fixture package testdata/src/<pkg>,
+// for tests that need to run several analyzers over one fixture and
+// compare their outputs directly (e.g. proving snapshotstate's closure
+// covers findings gobsafe's call-site view misses) rather than match
+// // want comments.
+func Load(t *testing.T, pkg string) *analysis.Package {
+	t.Helper()
 	dir := filepath.Join("testdata", "src", pkg)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -65,24 +80,18 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	}
 
 	info := analysis.NewInfo()
-	conf := types.Config{Importer: stdlibImporter(t, fset, files)}
+	conf := types.Config{Importer: exportImporter(t, fset, files)}
 	tpkg, err := conf.Check(pkg, fset, files, info)
 	if err != nil {
 		t.Fatalf("analysistest: type-checking %s: %v", dir, err)
 	}
-
-	diags, err := analysis.Run(&analysis.Package{
+	return &analysis.Package{
 		PkgPath: pkg,
 		Fset:    fset,
 		Files:   files,
 		Types:   tpkg,
 		Info:    info,
-	}, []*analysis.Analyzer{a})
-	if err != nil {
-		t.Fatalf("analysistest: %v", err)
 	}
-
-	check(t, fset, files, diags)
 }
 
 type key struct {
@@ -208,10 +217,12 @@ func parseWants(t *testing.T, pos token.Position, text string) []*regexp.Regexp 
 	return pats
 }
 
-// stdlibImporter builds an importer that serves the standard-library
-// imports of the fixture files from build-cache export data, produced by
-// one `go list -deps -export` invocation.
-func stdlibImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
+// exportImporter builds an importer that serves the fixture files'
+// imports — standard library or this module's own packages — from
+// build-cache export data, produced by one `go list -deps -export`
+// invocation (fixtures like fleetscope import dvc/internal/fleet and
+// dvc/internal/sim to exercise the real types).
+func exportImporter(t *testing.T, fset *token.FileSet, files []*ast.File) types.Importer {
 	t.Helper()
 	pathSet := make(map[string]bool)
 	for _, f := range files {

@@ -1,6 +1,11 @@
 package analysis_test
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
 	"testing"
 
 	"dvc/internal/analysis"
@@ -16,6 +21,45 @@ func TestMapIter(t *testing.T)       { analysistest.Run(t, analysis.MapIter, "ma
 func TestNoConcurrency(t *testing.T) { analysistest.Run(t, analysis.NoConcurrency, "noconcurrency") }
 func TestGobSafe(t *testing.T)       { analysistest.Run(t, analysis.GobSafe, "gobsafe") }
 
+// The dvclint v2 analyzers: whole-type-graph reachability, hot-path
+// allocation, and fleet capture scope.
+
+func TestSnapshotState(t *testing.T) { analysistest.Run(t, analysis.SnapshotState, "snapshotstate") }
+func TestNoAlloc(t *testing.T)       { analysistest.Run(t, analysis.NoAlloc, "noalloc") }
+func TestFleetScope(t *testing.T)    { analysistest.Run(t, analysis.FleetScope, "fleetscope") }
+
+// TestSnapshotStateCatchesWhatGobsafeMisses is the ISSUE's acceptance
+// proof that the closure view strictly extends the call-site view: in
+// the gobgap fixture the only gob call encodes `any`, so gobsafe sees
+// nothing, while snapshotstate reaches the nested unexported field from
+// the declared root.
+func TestSnapshotStateCatchesWhatGobsafeMisses(t *testing.T) {
+	pkg := analysistest.Load(t, "gobgap")
+	gob, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.GobSafe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gob) != 0 {
+		t.Fatalf("gobsafe unexpectedly found %d diagnostic(s) in gobgap: %v", len(gob), gob)
+	}
+	snap, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.SnapshotState})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) == 0 {
+		t.Fatal("snapshotstate found nothing in gobgap; the closure must reach Header.dirty")
+	}
+	found := false
+	for _, d := range snap {
+		if strings.Contains(d.Message, "Header.dirty") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshotstate diagnostics do not mention Header.dirty: %v", snap)
+	}
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range analysis.All() {
 		if analysis.ByName(a.Name) != a {
@@ -24,6 +68,12 @@ func TestByName(t *testing.T) {
 	}
 	if analysis.ByName("nope") != nil {
 		t.Error("ByName(nope) should be nil")
+	}
+}
+
+func TestAllCount(t *testing.T) {
+	if got := len(analysis.All()); got != 8 {
+		t.Errorf("suite has %d analyzers, want 8 (five v1 checks plus snapshotstate, noalloc, fleetscope)", got)
 	}
 }
 
@@ -37,13 +87,93 @@ func TestScoping(t *testing.T) {
 	if analysis.IsSimPackage("dvc/internal/fleet") {
 		t.Error("internal/fleet is the sanctioned concurrency package and must not be a sim package (see simPackages in rules.go)")
 	}
-	if got := len(analysis.AnalyzersFor("dvc/internal/core")); got != 5 {
-		t.Errorf("sim packages get all 5 analyzers, got %d", got)
+	if got := len(analysis.AnalyzersFor("dvc/internal/core")); got != 8 {
+		t.Errorf("sim packages get all 8 analyzers, got %d", got)
 	}
-	if got := len(analysis.AnalyzersFor("dvc/cmd/dvctrace")); got != 3 {
-		t.Errorf("cmd packages get 3 analyzers, got %d", got)
+	if got := len(analysis.AnalyzersFor("dvc/cmd/dvctrace")); got != 6 {
+		t.Errorf("cmd packages get 6 analyzers, got %d", got)
 	}
 	if !analysis.InModule("dvc") || !analysis.InModule("dvc/internal/sim") || analysis.InModule("fmt") {
 		t.Error("InModule misclassifies")
+	}
+}
+
+// loadSource type-checks an in-memory file as package "p" with no
+// imports, for directive-mechanics tests that don't need a fixture
+// directory.
+func loadSource(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewInfo()
+	var conf types.Config
+	files := []*ast.File{f}
+	tpkg, err := conf.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Package{PkgPath: "p", Fset: fset, Files: files, Types: tpkg, Info: info}
+}
+
+// TestAllowRequiresJustification pins the directive-parser contract from
+// the ISSUE: a //lint:allow with no <why> text does not suppress and is
+// itself reported, a justified one suppresses, and a justified one that
+// suppresses nothing is reported stale.
+func TestAllowRequiresJustification(t *testing.T) {
+	const src = `package p
+
+//dvc:hotpath
+func unjustified(b []byte) []byte {
+	//lint:allow noalloc
+	return append(b, 1)
+}
+
+//dvc:hotpath
+func justified(b []byte) []byte {
+	//lint:allow noalloc amortized growth, measured in the slab benchmark
+	return append(b, 2)
+}
+
+//dvc:hotpath
+func stale(n int) int {
+	//lint:allow noalloc nothing on this line allocates
+	return n + 1
+}
+
+func unknown(n int) int {
+	//lint:allow nosuchanalyzer it does not exist
+	return n
+}
+`
+	pkg := loadSource(t, src)
+	diags, err := analysis.Run(pkg, []*analysis.Analyzer{analysis.NoAlloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAnalyzer := map[string][]string{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d.Message+" @"+pos.String())
+	}
+	// The unjustified allow must not suppress: exactly one noalloc
+	// finding survives (justified's append is suppressed).
+	if got := len(byAnalyzer["noalloc"]); got != 1 {
+		t.Fatalf("noalloc findings = %d, want 1 (unjustified allow must not suppress)\nall: %v", got, byAnalyzer)
+	}
+	if !strings.Contains(byAnalyzer["noalloc"][0], "append") {
+		t.Fatalf("surviving noalloc finding = %v", byAnalyzer["noalloc"])
+	}
+	// Directive vetting: missing justification, stale, unknown name.
+	joined := strings.Join(byAnalyzer[analysis.DirectiveAnalyzer], "\n")
+	for _, want := range []string{"no justification", "stale suppression", "unknown analyzer"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("lintdirective diagnostics missing %q:\n%s", want, joined)
+		}
+	}
+	if got := len(byAnalyzer[analysis.DirectiveAnalyzer]); got != 3 {
+		t.Errorf("lintdirective findings = %d, want 3:\n%s", got, joined)
 	}
 }

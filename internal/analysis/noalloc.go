@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc is the hot-path allocation analyzer. Functions marked
+//
+//	//dvc:hotpath
+//
+// are the zero-allocation paths PR 4/5 carved out (the kernel's slab and
+// timer heap, the payload writer, the TCP rings, netsim delivery). The
+// runtime gates (testing.AllocsPerObject-style benchmarks) catch a
+// regression only on the inputs a benchmark happens to exercise; this
+// analyzer flags the allocating constructs themselves, at the line that
+// introduces them:
+//
+//   - function literals that capture variables (the captures force a
+//     heap-allocated closure environment)
+//   - method value expressions (x.M used as a value allocates a bound
+//     closure)
+//   - fmt.* calls (every fmt call allocates for its variadic boxing and
+//     formatting state)
+//   - append (growth reallocates; amortized-growth sites carry a
+//     //lint:allow with the reasoning)
+//   - make / new (always suspicious in a hot path; doubly so inside a
+//     loop, which the message calls out)
+//   - composite literals whose address escapes via &T{...}
+//   - interface boxing: a concrete, non-pointer-shaped value converted
+//     to an interface (argument, assignment, return or explicit
+//     conversion) allocates unless the escape analyzer saves it
+//
+// Arguments of panic(...) calls are exempt: a panicking hot path is
+// already off the fast path, and the alternative (pre-formatting every
+// assertion message) would be worse.
+//
+// The check is intra-procedural and conservative in the "flag it and
+// make the author justify it" direction: some flagged sites do not
+// escape and cost nothing, and the sanctioned ones carry a justified
+// //lint:allow so the next reader sees the reasoning.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "flag allocating constructs (closures, boxing, fmt, append, make) " +
+		"inside functions marked //dvc:hotpath",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, HotPathDirective) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotFunc walks one //dvc:hotpath function body.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Collect the source ranges of panic(...) arguments first; anything
+	// inside them is cold-path and exempt from every check below.
+	type span struct{ lo, hi token.Pos }
+	var cold []span
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || builtinName(info, call) != "panic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			cold = append(cold, span{arg.Pos(), arg.End()})
+		}
+		return true
+	})
+	isCold := func(pos token.Pos) bool {
+		for _, s := range cold {
+			if s.lo <= pos && pos < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Track loop nesting so make/new inside a loop gets the sharper
+	// message, and record which function literals sit where so capture
+	// analysis can tell "declared in fd but outside the literal".
+	var loopDepth func(pos token.Pos) int
+	{
+		var loops []span
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+			case *ast.RangeStmt:
+				loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+			}
+			return true
+		})
+		loopDepth = func(pos token.Pos) int {
+			d := 0
+			for _, s := range loops {
+				if s.lo <= pos && pos < s.hi {
+					d++
+				}
+			}
+			return d
+		}
+	}
+
+	// reportedFmt remembers fmt call expressions already flagged, so the
+	// interface-boxing check does not pile a second diagnostic onto each
+	// variadic argument of an already-flagged fmt call. callees remembers
+	// call-expression callees: a called selector x.M() has Selection kind
+	// MethodVal too, and only the uncalled form allocates a bound closure.
+	reportedCalls := make(map[*ast.CallExpr]bool)
+	callees := make(map[ast.Expr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if isCold(n.Pos()) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if caps := captures(info, fd, n); len(caps) > 0 {
+				pass.Reportf(n.Pos(), "hot path %s: function literal captures %s, forcing a heap-allocated closure (pass state explicitly or hoist the literal)",
+					fd.Name.Name, joinNames(caps))
+			}
+			return false // the literal's own body is not the hot path
+		case *ast.CallExpr:
+			callees[ast.Unparen(n.Fun)] = true
+			if isConversion(info, n) {
+				if tv, ok := info.Types[n.Fun]; ok {
+					for _, arg := range n.Args {
+						reportBoxed(pass, fd, arg, tv.Type)
+					}
+				}
+				return true
+			}
+			if verb := builtinName(info, n); verb != "" {
+				switch verb {
+				case "append":
+					pass.Reportf(n.Pos(), "hot path %s: append may grow and reallocate; pre-size the slice or justify amortized growth with //lint:allow",
+						fd.Name.Name)
+				case "make", "new":
+					if loopDepth(n.Pos()) > 0 {
+						pass.Reportf(n.Pos(), "hot path %s: %s inside a loop allocates on every iteration; hoist it or reuse a pooled buffer",
+							fd.Name.Name, verb)
+					} else {
+						pass.Reportf(n.Pos(), "hot path %s: %s allocates; reuse a pooled or pre-sized buffer",
+							fd.Name.Name, verb)
+					}
+				}
+				// No boxing check on builtin calls: panic's any parameter
+				// is cold by definition and the rest do not box.
+				return true
+			}
+			if name, ok := pkgObject(info, n.Fun, "fmt"); ok {
+				pass.Reportf(n.Pos(), "hot path %s: fmt.%s allocates for formatting and variadic boxing; precompute the string or move it off the hot path",
+					fd.Name.Name, name)
+				reportedCalls[n] = true
+				return true
+			}
+			if !reportedCalls[n] {
+				checkCallBoxing(pass, fd, n)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hot path %s: &composite literal escapes to the heap; reuse a pooled object",
+						fd.Name.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			if !callees[n] && isMethodValue(info, n) {
+				pass.Reportf(n.Pos(), "hot path %s: method value %s.%s allocates a bound closure; mint it once at setup time",
+					fd.Name.Name, exprText(n.X), n.Sel.Name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) != len(n.Rhs) {
+					break
+				}
+				lt := info.TypeOf(n.Lhs[i])
+				reportBoxed(pass, fd, rhs, lt)
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				lt := info.TypeOf(n.Type)
+				for _, v := range n.Values {
+					reportBoxed(pass, fd, v, lt)
+				}
+			}
+		case *ast.ReturnStmt:
+			sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+			if sig == nil || sig.Results() == nil || len(n.Results) != sig.Results().Len() {
+				break
+			}
+			for i, r := range n.Results {
+				reportBoxed(pass, fd, r, sig.Results().At(i).Type())
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags concrete values boxed into interface parameters
+// of an ordinary call.
+func checkCallBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // []T passed whole, no boxing
+			} else if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		reportBoxed(pass, fd, arg, pt)
+	}
+}
+
+// reportBoxed flags expr when assigning it to an interface-typed slot
+// would box a concrete, non-pointer-shaped value.
+func reportBoxed(pass *Pass, fd *ast.FuncDecl, expr ast.Expr, to types.Type) {
+	if to == nil {
+		return
+	}
+	if _, ok := to.Underlying().(*types.Interface); !ok {
+		return
+	}
+	from := pass.TypesInfo.TypeOf(expr)
+	if from == nil {
+		return
+	}
+	if b, ok := from.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, ok := from.Underlying().(*types.Interface); ok {
+		return // interface-to-interface, no new box
+	}
+	if pointerShaped(from) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "hot path %s: %s boxed into %s allocates; pass a pointer or avoid the interface on this path",
+		fd.Name.Name, from.String(), to.String())
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating a box.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// captures returns the names of variables a function literal closes
+// over: identifiers inside lit resolving to variables declared inside
+// the enclosing function but outside the literal. Package-level
+// variables and struct fields do not force a closure environment.
+func captures(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[*types.Var]bool)
+	var out []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		pos := v.Pos()
+		inEnclosing := enclosing.Pos() <= pos && pos < enclosing.End()
+		inLit := lit.Pos() <= pos && pos < lit.End()
+		if inEnclosing && !inLit {
+			seen[v] = true
+			out = append(out, v.Name())
+		}
+		return true
+	})
+	return out
+}
+
+// isMethodValue reports whether sel is a method value expression
+// (x.M referenced as a value, not called).
+func isMethodValue(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	return ok && s.Kind() == types.MethodVal
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(e.X)
+	}
+	return "value"
+}

@@ -1,0 +1,272 @@
+// Package report renders dvclint findings for humans and machines.
+//
+// The driver (cmd/dvclint) converts analysis.Diagnostics into Findings
+// with module-relative paths, sorts them into the canonical order, and
+// writes one of three formats:
+//
+//	text   file:line:col: [analyzer] message        (for terminals)
+//	json   a stable JSON array of findings          (for scripts)
+//	sarif  SARIF 2.1.0                              (for CI annotations)
+//
+// All three are deterministic: same findings, same bytes. The canonical
+// order is (file, line, analyzer, column, message), so output diffs
+// cleanly across runs and machines.
+//
+// The package also implements the reviewed-baseline mechanism: a
+// baseline file records findings that are understood and intentionally
+// outstanding, keyed by (analyzer, file, message) — deliberately not by
+// line number, so unrelated edits above a finding do not invalidate the
+// baseline. Findings matching the baseline are filtered out; baseline
+// entries matching nothing are reported as stale so the file shrinks as
+// debt is paid.
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic with its position resolved to a
+// module-relative path.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Package  string `json:"package"`
+}
+
+// Sort orders findings canonically: by file, then line, then analyzer,
+// then column, then message. Every output format relies on this order.
+func Sort(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText writes the terminal format, one finding per line.
+func WriteText(w io.Writer, fs []Finding) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range fs {
+		fmt.Fprintf(bw, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	return bw.Flush()
+}
+
+// WriteJSON writes the findings as an indented JSON array (an empty
+// slice renders as [], never null).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// sarif* model the minimal SARIF 2.1.0 subset CI annotation consumers
+// need: one run, one driver, rules with help text, results with
+// physical locations.
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string        `json:"id"`
+	ShortDescription sarifMessage  `json:"shortDescription"`
+	Help             *sarifMessage `json:"help,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// RuleDoc describes one analyzer for the SARIF rules table.
+type RuleDoc struct {
+	Name string
+	Doc  string
+}
+
+// WriteSARIF writes a SARIF 2.1.0 log. rules lists every analyzer that
+// ran (not just those with findings), so CI shows the full suite; URIs
+// are the module-relative paths with SRCROOT as the base id.
+func WriteSARIF(w io.Writer, fs []Finding, rules []RuleDoc) error {
+	sr := make([]sarifRule, 0, len(rules))
+	for _, r := range rules {
+		rule := sarifRule{ID: r.Name, ShortDescription: sarifMessage{Text: r.Name}}
+		if r.Doc != "" {
+			rule.Help = &sarifMessage{Text: r.Doc}
+		}
+		sr = append(sr, rule)
+	}
+	sort.Slice(sr, func(i, j int) bool { return sr[i].ID < sr[j].ID })
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "SRCROOT"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "dvclint", Rules: sr}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// --- baseline ---
+
+// baselineKey identifies a finding across line drift: unrelated edits
+// above a finding move its line but not its key.
+func baselineKey(f Finding) string {
+	return f.Analyzer + "\t" + f.File + "\t" + f.Message
+}
+
+// Baseline is a set of reviewed, intentionally outstanding findings.
+type Baseline struct {
+	keys map[string]bool
+}
+
+// ParseBaseline reads a baseline file: tab-separated
+// analyzer<TAB>file<TAB>message lines, '#' comments and blank lines
+// ignored.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{keys: make(map[string]bool)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Count(line, "\t") != 2 {
+			return nil, fmt.Errorf("baseline line %d: want analyzer<TAB>file<TAB>message, got %q", n, line)
+		}
+		b.keys[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter removes findings present in the baseline and returns the
+// survivors plus the baseline entries that matched nothing (stale debt
+// that has been paid and should be removed from the file).
+func (b *Baseline) Filter(fs []Finding) (kept []Finding, stale []string) {
+	matched := make(map[string]bool)
+	for _, f := range fs {
+		key := baselineKey(f)
+		if b.keys[key] {
+			matched[key] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for key := range b.keys {
+		if !matched[key] {
+			stale = append(stale, strings.ReplaceAll(key, "\t", " | "))
+		}
+	}
+	sort.Strings(stale)
+	return kept, stale
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted and
+// deduplicated.
+func WriteBaseline(w io.Writer, fs []Finding) error {
+	keys := make(map[string]bool, len(fs))
+	for _, f := range fs {
+		keys[baselineKey(f)] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# dvclint baseline: reviewed findings that are intentionally outstanding.")
+	fmt.Fprintln(bw, "# Format: analyzer<TAB>file<TAB>message. Keyed without line numbers so")
+	fmt.Fprintln(bw, "# unrelated edits do not invalidate entries. Regenerate with -write-baseline;")
+	fmt.Fprintln(bw, "# stale entries (debt that has been paid) are reported so this file shrinks.")
+	for _, k := range sorted {
+		fmt.Fprintln(bw, k)
+	}
+	return bw.Flush()
+}

@@ -4,7 +4,10 @@ import "strings"
 
 // All returns every analyzer in the suite, in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoGlobalRand, MapIter, NoConcurrency, GobSafe}
+	return []*Analyzer{
+		NoWallClock, NoGlobalRand, MapIter, NoConcurrency, GobSafe,
+		SnapshotState, NoAlloc, FleetScope,
+	}
 }
 
 // ByName resolves an analyzer by its Name, for cmd/dvclint's -run flag.
@@ -31,6 +34,8 @@ func ByName(name string) *Analyzer {
 //  1. Kernels never cross goroutines. Each trial closure builds its own
 //     sim.Kernel (and everything hanging off it) and tears it down before
 //     returning; no simulation object is ever shared between workers.
+//     The fleetscope analyzer enforces this structurally: closures passed
+//     to fleet entry points must not capture kernel-reaching state.
 //  2. Results merge in index order. fleet.Map returns results indexed by
 //     trial number, and all aggregation happens on the caller's goroutine
 //     after Map returns — so tables, checks and spliced traces are
@@ -70,9 +75,12 @@ func IsSimPackage(pkgPath string) bool { return simPackages[pkgPath] }
 
 // AnalyzersFor returns the analyzers that apply to a package.
 //
-//   - noglobalrand, mapiter, gobsafe run over every package in the module:
-//     a CLI that draws from the global rand source or prints in map order
-//     still breaks reproducible trace generation.
+//   - noglobalrand, mapiter, gobsafe, snapshotstate, noalloc and
+//     fleetscope run over every package in the module: a CLI that draws
+//     from the global rand source or prints in map order still breaks
+//     reproducible trace generation; checkpoint roots, //dvc:hotpath
+//     functions and fleet call sites carry their obligations wherever
+//     they are declared.
 //   - nowallclock and noconcurrency are restricted to the simulation
 //     packages; cmd/ binaries and examples/ are the sanctioned home for
 //     wall-clock progress reporting and (hypothetical) concurrency.
@@ -81,7 +89,7 @@ func IsSimPackage(pkgPath string) bool { return simPackages[pkgPath] }
 // non-test GoFiles, which is the _test.go wall-clock allowlist from the
 // determinism spec.
 func AnalyzersFor(pkgPath string) []*Analyzer {
-	out := []*Analyzer{NoGlobalRand, MapIter, GobSafe}
+	out := []*Analyzer{NoGlobalRand, MapIter, GobSafe, SnapshotState, NoAlloc, FleetScope}
 	if IsSimPackage(pkgPath) {
 		out = append(out, NoWallClock, NoConcurrency)
 	}

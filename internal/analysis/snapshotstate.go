@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SnapshotState is the whole-type-graph checkpoint analyzer. Where
+// gobsafe vets the static type at each encoding/gob call site,
+// snapshotstate starts from the *declared* checkpoint roots — types
+// marked with a //dvc:checkpoint-root directive (guest.Snapshot,
+// tcp.StackSnapshot, vm.Image, ...) plus every type registered with
+// gob.Register (the concrete payloads that travel behind interface
+// fields) — and computes the full reachability closure of their field
+// graphs through structs, pointers, slices, arrays and maps. Every
+// field in the closure must round-trip through gob: no unexported
+// fields (silently dropped, including unexported embedded types, which
+// gobsafe's call-site walk exempts), no func or chan anywhere in a
+// field's type.
+//
+// The point of the closure view: checkpoint state accretes far from the
+// encode call. A field added to tcp.ConnSnapshot is serialized because
+// guest.Snapshot reaches it, even though no gob call in internal/tcp
+// ever mentions it — a call-site analyzer never sees it. The closure is
+// also what the driver emits as STATE_MANIFEST.txt (see StateManifest),
+// so every (type, field) that participates in a checkpoint is visible
+// in review when it changes.
+//
+// Types that implement GobEncoder/BinaryMarshaler own their wire format
+// and terminate the walk, as in gobsafe. Interface-typed fields cannot
+// be traversed statically; their concrete payloads are covered by the
+// gob.Register roots instead.
+var SnapshotState = &Analyzer{
+	Name: "snapshotstate",
+	Doc: "compute the reachability closure of declared checkpoint roots " +
+		"(//dvc:checkpoint-root types and gob.Register payloads) and flag " +
+		"fields gob would drop or reject anywhere in it",
+	Run: runSnapshotState,
+}
+
+// stateRoot is one entry point into the checkpoint state graph.
+type stateRoot struct {
+	pos  token.Pos // where to report problems: the root declaration or gob call
+	name string    // display name for diagnostics
+	typ  types.Type
+}
+
+func runSnapshotState(pass *Pass) error {
+	for _, root := range collectStateRoots(pass.TypesInfo, pass.Files) {
+		walkStateGraph(root.typ, func(path string, problem string) {
+			pass.Reportf(root.pos, "checkpoint state reachable from %s: %s %s", root.name, path, problem)
+		}, nil)
+	}
+	return nil
+}
+
+// collectStateRoots gathers the package's checkpoint roots: type
+// declarations carrying //dvc:checkpoint-root and the static types of
+// gob.Register/RegisterName payloads. The result is in source order
+// (declarations first), which makes diagnostic order deterministic.
+func collectStateRoots(info *types.Info, files []*ast.File) []stateRoot {
+	var roots []stateRoot
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasDirective(gd.Doc, CheckpointRootDirective) && !hasDirective(ts.Doc, CheckpointRootDirective) {
+					continue
+				}
+				if obj, ok := info.Defs[ts.Name].(*types.TypeName); ok {
+					roots = append(roots, stateRoot{pos: ts.Name.Pos(), name: obj.Name(), typ: obj.Type()})
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || isConversion(info, call) {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			var arg ast.Expr
+			switch obj.Name() {
+			case "Register":
+				if len(call.Args) == 1 {
+					arg = call.Args[0]
+				}
+			case "RegisterName":
+				if len(call.Args) == 2 {
+					arg = call.Args[1]
+				}
+			}
+			if arg == nil {
+				return true
+			}
+			if t := info.TypeOf(arg); t != nil {
+				roots = append(roots, stateRoot{pos: call.Pos(), name: typeDisplayName(t), typ: t})
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+// typeDisplayName names a root type for diagnostics ("*HPL" -> "HPL").
+func typeDisplayName(t types.Type) string {
+	t = deref(t)
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// walkStateGraph traverses the checkpoint state graph rooted at t. For
+// every problematic field it calls report with a short field path and
+// the problem text; when entries is non-nil it records one manifest line
+// per (struct type, field) visited.
+func walkStateGraph(t types.Type, report func(path, problem string), entries map[string]bool) {
+	visited := make(map[types.Type]bool)
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || visited[t] {
+			return
+		}
+		visited[t] = true
+		if d := deref(t); d != t {
+			t = d
+			if visited[t] {
+				return
+			}
+			visited[t] = true
+		}
+		if hasCustomWireFormat(t) {
+			return
+		}
+		named, _ := t.(*types.Named)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			switch u := t.Underlying().(type) {
+			case *types.Slice:
+				walk(u.Elem())
+			case *types.Array:
+				walk(u.Elem())
+			case *types.Map:
+				walk(u.Key())
+				walk(u.Elem())
+			}
+			return
+		}
+		owner := "struct"
+		if named != nil {
+			owner = named.Obj().Name()
+			if pkg := named.Obj().Pkg(); pkg != nil {
+				owner = pkg.Path() + "." + owner
+			}
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			fieldPath := owner + "." + f.Name()
+			_, isIface := f.Type().Underlying().(*types.Interface)
+			if entries != nil {
+				line := fieldPath + "\t" + types.TypeString(f.Type(), nil)
+				if isIface {
+					line += "\t(interface: concrete payloads are gob.Register roots)"
+				}
+				entries[line] = true
+			}
+			if !f.Exported() {
+				if f.Embedded() {
+					if report != nil {
+						report(fieldPath, "is an unexported embedded field, which gob silently drops (promote it to an exported field or type)")
+					}
+				} else if report != nil {
+					report(fieldPath, "is unexported: gob silently drops it, so this state would not survive save/restore (export it, or give the type a custom wire format)")
+				}
+				continue
+			}
+			if bad, kind := containsBadKind(f.Type(), make(map[types.Type]bool)); bad {
+				if report != nil {
+					report(fieldPath, fmt.Sprintf("contains a %s, which gob cannot encode: checkpointing would fail or restore nil", kind))
+				}
+				continue
+			}
+			if isIface {
+				continue // opaque: concrete payloads enter via gob.Register roots
+			}
+			walk(f.Type())
+		}
+	}
+	walk(t)
+}
+
+// StateManifest computes the checkpoint state manifest over a set of
+// type-checked packages: the sorted, deduplicated list of every root and
+// every (type, field) in the reachability closure. The output depends
+// only on the type graph — no positions, no map order — so the same
+// source always produces byte-identical bytes, and the committed
+// STATE_MANIFEST.txt golden file diffs meaningfully in review when
+// checkpoint state is added or removed.
+func StateManifest(pkgs []*Package) []byte {
+	rootSet := make(map[string]bool)
+	entrySet := make(map[string]bool)
+	for _, pkg := range pkgs {
+		for _, root := range collectStateRoots(pkg.Info, pkg.Files) {
+			name := typeDisplayName(root.typ)
+			if named, ok := deref(root.typ).(*types.Named); ok {
+				if p := named.Obj().Pkg(); p != nil {
+					name = p.Path() + "." + name
+				}
+			}
+			rootSet[name] = true
+			walkStateGraph(root.typ, nil, entrySet)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("# STATE_MANIFEST.txt — checkpoint state closure, generated by dvclint.\n")
+	b.WriteString("# Every (type, field) below participates in a checkpoint image: it is\n")
+	b.WriteString("# reachable from a //dvc:checkpoint-root type or a gob.Register payload.\n")
+	b.WriteString("# Regenerate with: go run ./cmd/dvclint -write-manifest STATE_MANIFEST.txt ./...\n")
+	b.WriteString("# CI diffs this file; review changes as checkpoint-format changes.\n")
+	b.WriteString("\n[roots]\n")
+	for _, line := range sortedKeys(rootSet) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString("\n[state]\n")
+	for _, line := range sortedKeys(entrySet) {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

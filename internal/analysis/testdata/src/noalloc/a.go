@@ -1,0 +1,68 @@
+// Fixture for the noalloc analyzer: allocating constructs are flagged
+// only inside //dvc:hotpath functions, panic arguments are exempt, and
+// a justified //lint:allow waives a finding.
+package noalloc
+
+import "fmt"
+
+type T struct{ N int }
+
+func (T) M() {}
+
+//dvc:hotpath
+func hot(buf []byte, n int) []byte {
+	x := n
+	f := func() int { return x } // want `function literal captures x`
+	_ = f
+	buf = append(buf, 1) // want `append may grow`
+	m := make([]int, n)  // want `make allocates`
+	_ = m
+	for i := 0; i < n; i++ {
+		p := make([]byte, 8) // want `make inside a loop`
+		_ = p
+	}
+	fmt.Println(n)   // want `fmt\.Println allocates`
+	var sink any = n // want `int boxed into any`
+	_ = sink
+	var ptr any = &x // pointer-shaped: no box, no finding
+	_ = ptr
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n)) // cold path: panic args are exempt
+	}
+	return buf
+}
+
+//dvc:hotpath
+func hotAssign(n int, sink *any) {
+	*sink = n // want `int boxed into any`
+}
+
+//dvc:hotpath
+func hotMethodValue(t T) func() {
+	return t.M // want `method value t\.M allocates a bound closure`
+}
+
+//dvc:hotpath
+func hotComposite() *T {
+	return &T{N: 1} // want `&composite literal escapes`
+}
+
+//dvc:hotpath
+func hotCleanLit() func(int) int {
+	return func(v int) int { return v * 2 } // captures nothing: no finding
+}
+
+//dvc:hotpath
+func hotAllowed(buf []byte) []byte {
+	//lint:allow noalloc amortized growth is the fixture's sanctioned pattern
+	return append(buf, 42)
+}
+
+// cold has no directive: the same constructs pass unflagged.
+func cold(n int) []byte {
+	b := make([]byte, n)
+	fmt.Println(n)
+	var sink any = n
+	_ = sink
+	return append(b, 1)
+}

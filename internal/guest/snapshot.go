@@ -24,7 +24,11 @@ type ProcSnapshot struct {
 }
 
 // Snapshot is the pure-data image of a whole guest OS: the payload of a
-// whole-VM checkpoint. Everything in it round-trips through encoding/gob.
+// whole-VM checkpoint. Everything in it round-trips through encoding/gob;
+// the checkpoint-root directive puts its full field closure under
+// snapshotstate's reachability check and into STATE_MANIFEST.txt.
+//
+//dvc:checkpoint-root
 type Snapshot struct {
 	Procs     []ProcSnapshot
 	NextPID   PID

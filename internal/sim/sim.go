@@ -162,12 +162,15 @@ func (k *Kernel) deadEntries() int { return k.dead }
 // --- slab management ---
 
 // alloc pops a slot off the free list, growing the slab when empty.
+//
+//dvc:hotpath
 func (k *Kernel) alloc() int32 {
 	if k.free >= 0 {
 		slot := k.free
 		k.free = k.slab[slot].next
 		return slot
 	}
+	//lint:allow noalloc amortized slab growth; steady state reuses the free list
 	k.slab = append(k.slab, event{heapIdx: -1, next: -1})
 	return int32(len(k.slab) - 1)
 }
@@ -175,6 +178,8 @@ func (k *Kernel) alloc() int32 {
 // release returns a non-pinned slot to the free list. The generation was
 // already bumped when the event died; clearing fn drops the closure so the
 // GC can collect captured state.
+//
+//dvc:hotpath
 func (k *Kernel) release(slot int32) {
 	e := &k.slab[slot]
 	e.fn = nil
@@ -187,6 +192,8 @@ func (k *Kernel) release(slot int32) {
 // cancelSlot lazily kills a scheduled slot: the heap entry stays where it
 // is (marked dead) and is reclaimed when it surfaces or when compaction
 // runs. The generation bump makes every outstanding handle stale.
+//
+//dvc:hotpath
 func (k *Kernel) cancelSlot(slot int32) {
 	e := &k.slab[slot]
 	e.gen++
@@ -201,6 +208,8 @@ func (k *Kernel) cancelSlot(slot int32) {
 // outnumber the live ones. The trigger depends only on deterministic
 // counters and the rebuild only on heap array order, so compaction is part
 // of the reproducible schedule.
+//
+//dvc:hotpath
 func (k *Kernel) maybeCompact() {
 	const minDead = 64
 	if k.dead < minDead || k.dead <= k.live {
@@ -212,7 +221,7 @@ func (k *Kernel) maybeCompact() {
 			k.release(slot)
 			continue
 		}
-		kept = append(kept, slot)
+		kept = append(kept, slot) //lint:allow noalloc appends into k.heap[:0], never beyond existing capacity
 	}
 	k.heap = kept
 	k.dead = 0
@@ -236,6 +245,8 @@ const heapArity = 4
 
 // less orders slots by (when, seq). seq is unique, so the order is total
 // and pop order is independent of heap layout history.
+//
+//dvc:hotpath
 func (k *Kernel) less(a, b int32) bool {
 	ea, eb := &k.slab[a], &k.slab[b]
 	if ea.when != eb.when {
@@ -244,13 +255,17 @@ func (k *Kernel) less(a, b int32) bool {
 	return ea.seq < eb.seq
 }
 
+//dvc:hotpath
 func (k *Kernel) heapPush(slot int32) {
 	k.slab[slot].heapIdx = int32(len(k.heap))
+	//lint:allow noalloc amortized heap growth; capacity tracks peak pending events
 	k.heap = append(k.heap, slot)
 	k.siftUp(len(k.heap) - 1)
 }
 
 // heapPopTop removes and returns the root slot.
+//
+//dvc:hotpath
 func (k *Kernel) heapPopTop() int32 {
 	h := k.heap
 	top := h[0]
@@ -269,6 +284,8 @@ func (k *Kernel) heapPopTop() int32 {
 
 // heapRemove deletes the entry at heap position i (Timer.Stop's eager
 // removal; timers never leave dead entries behind).
+//
+//dvc:hotpath
 func (k *Kernel) heapRemove(i int) {
 	h := k.heap
 	last := len(h) - 1
@@ -284,6 +301,8 @@ func (k *Kernel) heapRemove(i int) {
 }
 
 // siftFix restores heap order at i after an arbitrary key change.
+//
+//dvc:hotpath
 func (k *Kernel) siftFix(i int) {
 	if !k.siftUp(i) {
 		k.siftDown(i)
@@ -291,6 +310,8 @@ func (k *Kernel) siftFix(i int) {
 }
 
 // siftUp moves i toward the root; reports whether it moved.
+//
+//dvc:hotpath
 func (k *Kernel) siftUp(i int) bool {
 	h := k.heap
 	moved := false
@@ -308,6 +329,7 @@ func (k *Kernel) siftUp(i int) bool {
 	return moved
 }
 
+//dvc:hotpath
 func (k *Kernel) siftDown(i int) {
 	h := k.heap
 	n := len(h)
@@ -340,6 +362,8 @@ func (k *Kernel) siftDown(i int) {
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the
 // past panics: that is always a logic error in a discrete-event model.
+//
+//dvc:hotpath
 func (k *Kernel) At(t Time, fn func()) Handle {
 	if fn == nil {
 		panic("sim: At with nil callback")
@@ -361,6 +385,8 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 
 // After schedules fn to run d after the current time. Negative delays are
 // clamped to zero (fire on the next dispatch, preserving order).
+//
+//dvc:hotpath
 func (k *Kernel) After(d Time, fn func()) Handle {
 	if d < 0 {
 		d = 0
@@ -376,6 +402,8 @@ func (k *Kernel) Halted() bool { return k.halted }
 
 // Step executes the single next pending event, advancing virtual time to
 // its timestamp. It reports false when the queue is empty.
+//
+//dvc:hotpath
 func (k *Kernel) Step() bool {
 	for len(k.heap) > 0 {
 		slot := k.heapPopTop()

@@ -41,6 +41,8 @@ func NewTimer(k *Kernel, fn func()) *Timer {
 // Reset (re)arms the timer to fire d after the current time. Negative
 // delays clamp to zero, like Kernel.After. If the timer is already armed
 // its slot is rearmed in place — no cancel, no reallocation.
+//
+//dvc:hotpath
 func (t *Timer) Reset(d Time) {
 	if d < 0 {
 		d = 0
@@ -50,6 +52,8 @@ func (t *Timer) Reset(d Time) {
 
 // ResetAt (re)arms the timer to fire at absolute time at. Arming in the
 // past panics, like Kernel.At.
+//
+//dvc:hotpath
 func (t *Timer) ResetAt(at Time) {
 	if t.slot < 0 {
 		panic("sim: Reset on a freed timer")
@@ -77,6 +81,8 @@ func (t *Timer) ResetAt(at Time) {
 // Stop disarms the timer, reporting whether it was armed. The slot stays
 // owned by the timer (eagerly removed from the heap, not marked dead), so
 // a Stop/Reset cycle is allocation-free and leaves no garbage entry.
+//
+//dvc:hotpath
 func (t *Timer) Stop() bool {
 	if t == nil || t.slot < 0 {
 		return false

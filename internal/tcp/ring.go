@@ -43,6 +43,8 @@ func (r *chunkRing) len() int { return r.size }
 func (r *chunkRing) at(k int) []byte { return r.chunks[(r.head+k)%len(r.chunks)] }
 
 // push appends a rope's chunks to the tail by reference.
+//
+//dvc:hotpath
 func (r *chunkRing) push(b payload.Bytes) {
 	for _, c := range b.Chunks() {
 		r.pushChunk(c)
@@ -51,6 +53,8 @@ func (r *chunkRing) push(b payload.Bytes) {
 
 // pushChunk appends one chunk to the tail by reference (empty chunks
 // are ignored).
+//
+//dvc:hotpath
 func (r *chunkRing) pushChunk(c []byte) {
 	if len(c) == 0 {
 		return
@@ -66,11 +70,14 @@ func (r *chunkRing) pushChunk(c []byte) {
 // grow doubles the descriptor array, compacting live descriptors to the
 // front. Descriptor slots are pointers-and-lengths, not data: even a
 // long queue costs a few hundred bytes of descriptor space.
+//
+//dvc:hotpath
 func (r *chunkRing) grow() {
 	newCap := 2 * len(r.chunks)
 	if newCap == 0 {
 		newCap = 8
 	}
+	//lint:allow noalloc amortized descriptor-array doubling; data chunks are never copied
 	fresh := make([][]byte, newCap)
 	for i := 0; i < r.n; i++ {
 		fresh[i] = r.at(i)
@@ -83,6 +90,8 @@ func (r *chunkRing) grow() {
 // rope over the ring's chunks. It panics on an out-of-range request —
 // callers derive off/n from sequence arithmetic, so a bad range is a
 // protocol-logic bug, not an I/O condition.
+//
+//dvc:hotpath
 func (r *chunkRing) view(off, n int) payload.Bytes {
 	if off < 0 || n < 0 || off+n > r.size {
 		panic(fmt.Sprintf("tcp: ring view [%d,%d) of %d bytes", off, off+n, r.size))
@@ -106,8 +115,9 @@ func (r *chunkRing) view(off, n int) payload.Bytes {
 		// message- or segment-sized.
 		return payload.Wrap(c[off : off+n : off+n])
 	}
+	//lint:allow noalloc multi-chunk slow path only; the single-chunk fast path above is allocation-free
 	parts := make([][]byte, 0, 4)
-	parts = append(parts, c[off:len(c):len(c)])
+	parts = append(parts, c[off:len(c):len(c)]) //lint:allow noalloc slow path; usually fits the 4-descriptor pre-size
 	n -= len(c) - off
 	for k++; n > 0; k++ {
 		c = r.at(k)
@@ -115,7 +125,7 @@ func (r *chunkRing) view(off, n int) payload.Bytes {
 		if take > len(c) {
 			take = len(c)
 		}
-		parts = append(parts, c[:take:take])
+		parts = append(parts, c[:take:take]) //lint:allow noalloc slow path; usually fits the 4-descriptor pre-size
 		n -= take
 	}
 	return payload.FromChunks(parts...)
@@ -125,6 +135,8 @@ func (r *chunkRing) view(off, n int) payload.Bytes {
 // chunks have their descriptor slots nil'ed so the ring stops keeping
 // their backing arrays alive — the fix for the reslice-pinning bug the
 // old []byte buffers had.
+//
+//dvc:hotpath
 func (r *chunkRing) consume(n int) {
 	if n < 0 || n > r.size {
 		panic(fmt.Sprintf("tcp: ring consume %d of %d bytes", n, r.size))

@@ -38,7 +38,12 @@ type ConnSnapshot struct {
 	DupSegments uint64
 }
 
-// StackSnapshot is the pure-data image of a whole stack.
+// StackSnapshot is the pure-data image of a whole stack. guest.Snapshot
+// reaches it (Snapshot.Stack), so it is already inside that root's
+// closure; declaring it a root here too means a field added in this
+// package is flagged at this declaration, not two packages away.
+//
+//dvc:checkpoint-root
 type StackSnapshot struct {
 	Addr          netsim.Addr
 	Config        Config

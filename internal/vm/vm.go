@@ -89,6 +89,8 @@ func (s DomainState) String() string {
 // immutable from the moment it is captured (the checksum enforces as
 // much at restore time), so the chunks are shared, never copied, as the
 // image moves through the store and restore paths.
+//
+//dvc:checkpoint-root
 type Image struct {
 	DomainName string
 	Addr       netsim.Addr
