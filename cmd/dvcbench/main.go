@@ -1,0 +1,282 @@
+// Command dvcbench merges the per-subsystem benchmark artifacts
+// (BENCH_*.json, written by the benchmarks when DVC_BENCH_JSON is set)
+// into a committed trajectory file, and gates CI on regressions against
+// the trajectory's last entry.
+//
+// Usage:
+//
+//	dvcbench -dir artifacts                      # print merged metrics
+//	dvcbench -dir artifacts -check               # gate vs last trajectory entry
+//	dvcbench -dir artifacts -append -label v7    # record a new entry
+//
+// Each artifact holds one JSON object per benchmark (JSONL or indented —
+// both decode). Numeric fields become metrics keyed
+// "<benchmark>.<field>"; run-shape fields (n, trials, workers, ...) are
+// dropped.
+//
+// -check compares every current metric against the trajectory's last
+// entry. A metric that got worse by more than the threshold (15% by
+// default) is a regression. Machine-independent metrics — allocation
+// counts and byte sizes — fail the run: they are pure functions of the
+// code and a jump is a real change. Timing and throughput metrics
+// (ns/op, MB/s, speedup) only warn by default, because CI runners vary
+// too much run to run for a hard gate to stay honest; -strict promotes
+// them to failures for same-machine comparisons.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dvcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir        = fs.String("dir", "artifacts", "directory holding BENCH_*.json artifacts")
+		trajectory = fs.String("trajectory", "BENCH_trajectory.json", "trajectory file")
+		check      = fs.Bool("check", false, "fail on regressions against the trajectory's last entry")
+		appendNew  = fs.Bool("append", false, "append the merged metrics as a new trajectory entry")
+		label      = fs.String("label", "", "with -append: entry label (e.g. a PR number or commit)")
+		threshold  = fs.Float64("threshold", 0.15, "relative regression threshold")
+		strict     = fs.Bool("strict", false, "with -check: fail on timing/throughput regressions too, not just machine-independent metrics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	current, err := mergeArtifacts(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "dvcbench:", err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintf(stderr, "dvcbench: no BENCH_*.json artifacts in %s\n", *dir)
+		return 2
+	}
+
+	switch {
+	case *check:
+		traj, err := readTrajectory(*trajectory)
+		if err != nil {
+			fmt.Fprintln(stderr, "dvcbench:", err)
+			return 2
+		}
+		if len(traj.Entries) == 0 {
+			fmt.Fprintf(stderr, "dvcbench: %s has no entries to compare against\n", *trajectory)
+			return 2
+		}
+		last := traj.Entries[len(traj.Entries)-1]
+		regressions := compare(last.Metrics, current, *threshold)
+		failed := 0
+		for _, r := range regressions {
+			verdict := "WARN"
+			if r.Hard || *strict {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Fprintf(stdout, "%s: %s: %.4g -> %.4g (%+.1f%%, threshold %.0f%%)\n",
+				verdict, r.Metric, r.Old, r.New, r.Delta*100, *threshold*100)
+		}
+		fmt.Fprintf(stdout, "dvcbench: %d metrics vs entry %q: %d regression(s), %d fatal\n",
+			len(current), last.Label, len(regressions), failed)
+		if failed > 0 {
+			return 1
+		}
+	case *appendNew:
+		traj, err := readTrajectory(*trajectory)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintln(stderr, "dvcbench:", err)
+			return 2
+		}
+		traj.Entries = append(traj.Entries, Entry{Label: *label, Metrics: current})
+		if err := writeTrajectory(*trajectory, traj); err != nil {
+			fmt.Fprintln(stderr, "dvcbench:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "dvcbench: appended entry %q (%d metrics) to %s\n", *label, len(current), *trajectory)
+	default:
+		for _, name := range sortedKeys(current) {
+			fmt.Fprintf(stdout, "%-60s %.6g\n", name, current[name])
+		}
+	}
+	return 0
+}
+
+// Entry is one recorded point on the benchmark trajectory.
+type Entry struct {
+	Label   string             `json:"label"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Trajectory is the committed history of benchmark results.
+type Trajectory struct {
+	Entries []Entry `json:"entries"`
+}
+
+// shapeFields describe the run, not its performance; they never become
+// metrics.
+var shapeFields = map[string]bool{
+	"n": true, "events": true, "trials": true, "workers": true,
+	"domains": true, "payload_bytes": true, "alloc_bytes": true,
+	"wall_s": true,
+}
+
+// mergeArtifacts decodes every BENCH_*.json in dir into one flat metric
+// map keyed "<benchmark>.<field>". Files hold a stream of JSON objects
+// (compact JSONL and indented documents both decode); later objects for
+// the same benchmark overwrite earlier ones, so re-running a bench into
+// the same artifact keeps the freshest numbers.
+func mergeArtifacts(dir string) (map[string]float64, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := map[string]float64{}
+	for _, path := range paths {
+		if filepath.Base(path) == "BENCH_trajectory.json" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		err = decodeArtifact(f, out)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return out, nil
+}
+
+// decodeArtifact folds one artifact stream into the metric map.
+func decodeArtifact(r io.Reader, out map[string]float64) error {
+	dec := json.NewDecoder(r)
+	for {
+		var doc map[string]any
+		if err := dec.Decode(&doc); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		name, _ := doc["benchmark"].(string)
+		if name == "" {
+			continue
+		}
+		name = strings.TrimPrefix(name, "Benchmark")
+		fields := make([]string, 0, len(doc))
+		for field := range doc {
+			fields = append(fields, field)
+		}
+		sort.Strings(fields)
+		for _, field := range fields {
+			val, ok := doc[field].(float64)
+			if !ok || field == "benchmark" || shapeFields[field] {
+				continue
+			}
+			out[name+"."+field] = val
+		}
+	}
+}
+
+// Regression is one metric that moved past the threshold in the bad
+// direction.
+type Regression struct {
+	Metric   string
+	Old, New float64
+	Delta    float64 // relative change, positive = worse
+	Hard     bool    // machine-independent: always fatal
+}
+
+// higherIsBetter marks metrics where bigger numbers are improvements.
+func higherIsBetter(metric string) bool {
+	return strings.HasSuffix(metric, ".speedup") ||
+		strings.HasSuffix(metric, "_per_s") ||
+		strings.HasSuffix(metric, "_mb_per_s")
+}
+
+// machineIndependent marks metrics that are pure functions of the code —
+// allocation counts and byte sizes — where any regression is real, not
+// runner noise.
+func machineIndependent(metric string) bool {
+	field := metric
+	if i := strings.LastIndexByte(metric, '.'); i >= 0 {
+		field = metric[i+1:]
+	}
+	return strings.Contains(field, "alloc") || strings.Contains(field, "bytes")
+}
+
+// compare finds current metrics that regressed past the threshold
+// relative to the baseline. Metrics missing on either side are skipped
+// (benches come and go); zero baselines gate absolutely — going from 0
+// allocs to any allocs is a regression no ratio can express.
+func compare(baseline, current map[string]float64, threshold float64) []Regression {
+	var out []Regression
+	for _, metric := range sortedKeys(current) {
+		old, ok := baseline[metric]
+		if !ok {
+			continue
+		}
+		cur := current[metric]
+		var delta float64
+		switch {
+		case old == 0:
+			if cur <= 0 || higherIsBetter(metric) {
+				continue
+			}
+			// A zero baseline is an absolute claim (0 allocs/op). Any
+			// nonzero value is a full regression.
+			delta = 1
+		case higherIsBetter(metric):
+			delta = (old - cur) / old
+		default:
+			delta = (cur - old) / old
+		}
+		if delta > threshold {
+			out = append(out, Regression{
+				Metric: metric, Old: old, New: cur, Delta: delta,
+				Hard: machineIndependent(metric),
+			})
+		}
+	}
+	return out
+}
+
+func readTrajectory(path string) (Trajectory, error) {
+	var traj Trajectory
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return traj, err
+	}
+	if err := json.Unmarshal(data, &traj); err != nil {
+		return traj, fmt.Errorf("%s: %w", path, err)
+	}
+	return traj, nil
+}
+
+func writeTrajectory(path string, traj Trajectory) error {
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDecodeArtifactBothShapes(t *testing.T) {
+	// Compact JSONL (kernel/dataplane/obs artifacts) and an indented
+	// document (fleet artifact) in one stream.
+	input := `{"benchmark":"BenchmarkKernelChurn","n":1000,"ns_per_op":31.2,"allocs_per_op":0}
+{"benchmark":"BenchmarkTimerRearm","ns_per_op":22.1,"allocs_per_op":0}
+{
+  "benchmark": "BenchmarkParallelSpeedup",
+  "trials": 8,
+  "workers": 4,
+  "speedup": 2.5
+}
+`
+	out := map[string]float64{}
+	if err := decodeArtifact(strings.NewReader(input), out); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"KernelChurn.ns_per_op":     31.2,
+		"KernelChurn.allocs_per_op": 0,
+		"TimerRearm.ns_per_op":      22.1,
+		"TimerRearm.allocs_per_op":  0,
+		"ParallelSpeedup.speedup":   2.5,
+	}
+	if len(out) != len(want) {
+		t.Fatalf("got %d metrics %v, want %d", len(out), out, len(want))
+	}
+	for k, v := range want {
+		if out[k] != v {
+			t.Errorf("%s = %v, want %v", k, out[k], v)
+		}
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := map[string]float64{
+		"A.ns_per_op":             100,
+		"A.allocs_per_op":         2,
+		"B.speedup":               2.0,
+		"B.payload_mb_per_s":      1000,
+		"C.alloc_b_per_payload_b": 2.0,
+		"D.allocs_per_op":         0,
+		"E.image_bytes_per_epoch": 1 << 20,
+		"F.ns_per_op":             100,
+		"Gone.ns_per_op":          5,
+	}
+	cur := map[string]float64{
+		"A.ns_per_op":             120,     // 20% slower: regression, soft
+		"A.allocs_per_op":         3,       // 50% more allocs: regression, hard
+		"B.speedup":               1.5,     // 25% less speedup: regression, soft
+		"B.payload_mb_per_s":      990,     // 1% slower: fine
+		"C.alloc_b_per_payload_b": 2.1,     // 5% worse: fine
+		"D.allocs_per_op":         1,       // zero baseline broken: hard
+		"E.image_bytes_per_epoch": 1 << 20, // unchanged
+		"F.ns_per_op":             80,      // improvement
+		"New.ns_per_op":           42,      // no baseline: skipped
+	}
+	regs := compare(base, cur, 0.15)
+	got := map[string]bool{} // metric -> hard
+	for _, r := range regs {
+		got[r.Metric] = r.Hard
+	}
+	want := map[string]bool{
+		"A.ns_per_op":     false,
+		"A.allocs_per_op": true,
+		"B.speedup":       false,
+		"D.allocs_per_op": true,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("regressions = %+v, want %v", regs, want)
+	}
+	for m, hard := range want {
+		h, ok := got[m]
+		if !ok || h != hard {
+			t.Errorf("metric %s: got (present=%v hard=%v), want hard=%v", m, ok, h, hard)
+		}
+	}
+}
+
+func TestRunCheckAndAppend(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "BENCH_kernel.json")
+	writeArtifact := func(ns, allocs float64) {
+		doc, _ := json.Marshal(map[string]any{
+			"benchmark": "BenchmarkKernelChurn", "ns_per_op": ns, "allocs_per_op": allocs,
+		})
+		if err := os.WriteFile(artifact, append(doc, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	traj := filepath.Join(dir, "BENCH_trajectory.json")
+
+	// Seed the trajectory.
+	writeArtifact(30, 0)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", dir, "-trajectory", traj, "-append", "-label", "seed"}, &out, &errb); code != 0 {
+		t.Fatalf("append exited %d: %s%s", code, out.String(), errb.String())
+	}
+
+	// Unchanged numbers pass the gate.
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-trajectory", traj, "-check"}, &out, &errb); code != 0 {
+		t.Fatalf("clean check exited %d: %s", code, out.String())
+	}
+
+	// A new allocation on a zero baseline fails hard.
+	writeArtifact(30, 1)
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-trajectory", traj, "-check"}, &out, &errb); code != 1 {
+		t.Fatalf("alloc regression exited %d, want 1: %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL: KernelChurn.allocs_per_op") {
+		t.Fatalf("missing FAIL line: %s", out.String())
+	}
+
+	// A timing-only regression warns by default, fails with -strict.
+	writeArtifact(60, 0)
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-trajectory", traj, "-check"}, &out, &errb); code != 0 {
+		t.Fatalf("timing regression exited %d, want 0 (warn): %s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "WARN: KernelChurn.ns_per_op") {
+		t.Fatalf("missing WARN line: %s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-dir", dir, "-trajectory", traj, "-check", "-strict"}, &out, &errb); code != 1 {
+		t.Fatalf("strict timing regression exited %d, want 1: %s", code, out.String())
+	}
+
+	// The trajectory file itself is skipped when it lives next to the
+	// artifacts.
+	trajInDir := filepath.Join(dir, "BENCH_trajectory.json")
+	if _, err := os.Stat(trajInDir); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := mergeArtifacts(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range merged {
+		if strings.HasPrefix(k, "trajectory") {
+			t.Fatalf("trajectory leaked into metrics: %v", merged)
+		}
+	}
+}

@@ -6,6 +6,9 @@
 //	dvcsim -exp E1 [-seed 42] [-trials 20]
 //	dvcsim -exp all [-full] [-parallel 8]
 //	dvcsim -exp E2 -trials 1 -trace e2.jsonl -perfetto e2.json
+//	dvcsim -exp E2 -report out/           # self-contained run artifact
+//	dvcsim -exp E2 -trace e2.jsonl -sample-every 10 -filter-type lsc,vm
+//	dvcsim -exp E2 -flight 2000           # ring buffer dumped on failure
 //
 // Each experiment prints its table(s) followed by PASS/FAIL shape checks
 // against the paper's reported results. The exit status is non-zero if
@@ -16,11 +19,28 @@
 // any -parallel value — only wall-clock time changes. -cpuprofile and
 // -memprofile write pprof profiles of the run.
 //
-// With -trace or -perfetto a deterministic event trace of the run is
-// recorded (same seed, same flags => byte-identical JSONL) and written as
-// an event log and/or a Chrome trace_events file loadable in
-// ui.perfetto.dev. Tracing also prints (or, with -json, embeds) the
-// counter-registry snapshot.
+// With -trace a deterministic event trace of the run is streamed as
+// JSONL through a fixed-size buffer (same seed, same flags =>
+// byte-identical output), so tracer memory stays bounded no matter how
+// long the run is; convert offline with dvctrace -convert to view in
+// ui.perfetto.dev. -perfetto exports Chrome trace_events in-process
+// (this buffers the records in memory). Tracing also prints (or, with
+// -json, embeds) the counter-registry snapshot.
+//
+// -report dir/ writes a self-contained run artifact: config.json (the
+// run's flags), results.json (tables + checks), registry.json,
+// trace.jsonl, summary.json (per-type counts, span percentiles) and
+// series.jsonl (windowed registry metrics sampled on virtual time).
+//
+// -flight N retains the last N trace records in a ring buffer and dumps
+// them as JSONL when a shape check fails or the run panics — bounded
+// observability for runs too big to trace in full.
+//
+// -filter-type/-filter-node/-filter-dom/-sample-every narrow the
+// recorded stream deterministically (sampling is keyed on record
+// sequence numbers; span begin/end records always pass). The filter
+// applies to every sink, so filtered runs trade replay byte-identity
+// with unfiltered runs for volume.
 package main
 
 import (
@@ -29,10 +49,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"dvc"
+	"dvc/internal/obs"
 )
 
 // main delegates to run so deferred profile writers execute before the
@@ -48,8 +71,15 @@ func run() int {
 		parallel = flag.Int("parallel", 0, "worker pool size for independent trials (0 = one per core, 1 = serial); output is identical for any value")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON instead of tables")
-		traceOut = flag.String("trace", "", "write a deterministic JSONL event trace to this file")
-		perfOut  = flag.String("perfetto", "", "write a Chrome/Perfetto trace_events JSON to this file")
+		traceOut = flag.String("trace", "", "stream a deterministic JSONL event trace to this file")
+		perfOut  = flag.String("perfetto", "", "write a Chrome/Perfetto trace_events JSON to this file (buffers records in memory)")
+		report   = flag.String("report", "", "write a self-contained run artifact into this directory")
+		flightN  = flag.Int("flight", 0, "retain the last N trace records; dumped on failed check or panic")
+		flightTo = flag.String("flight-out", "dvcsim-flight.jsonl", "flight-recorder dump path")
+		fTypes   = flag.String("filter-type", "", "record only these comma-separated event types/categories")
+		fNodes   = flag.String("filter-node", "", "record only these comma-separated nodes")
+		fDoms    = flag.String("filter-dom", "", "record only these comma-separated domains")
+		sampleN  = flag.Uint64("sample-every", 0, "record every Nth instant/counter record (seq%N==0); spans always pass")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -99,11 +129,69 @@ func run() int {
 		dvc.WriteBanner(os.Stdout)
 		fmt.Println()
 	}
-	var tracer *dvc.Tracer
-	if *traceOut != "" || *perfOut != "" {
-		tracer = dvc.NewTracer()
+
+	// Assemble the trace pipeline: every requested consumer becomes one
+	// sink on a shared tee, so the run records once and each sink sees the
+	// identical stream.
+	var (
+		tracer  *dvc.Tracer
+		mem     *obs.MemorySink  // only when -perfetto needs the full stream
+		flight  *obs.FlightSink  // only with -flight
+		summary *obs.SummarySink // only with -report
+		sinks   []obs.Sink
+		closers []*os.File
+	)
+	if *report != "" {
+		if err := os.MkdirAll(*report, 0o755); err != nil {
+			return fail(err)
+		}
+		f, err := os.Create(filepath.Join(*report, "trace.jsonl"))
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, f)
+		summary = obs.NewSummarySink()
+		sinks = append(sinks, obs.NewJSONLSink(f, 0), summary)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, f)
+		sinks = append(sinks, obs.NewJSONLSink(f, 0))
+	}
+	if *perfOut != "" {
+		mem = obs.NewMemorySink()
+		sinks = append(sinks, mem)
+	}
+	if *flightN > 0 {
+		flight = obs.NewFlightSink(*flightN)
+		sinks = append(sinks, flight)
+	}
+	if len(sinks) > 0 {
+		sink := obs.Tee(sinks...)
+		filter := obs.FilterConfig{
+			Types:  splitTypes(*fTypes),
+			Nodes:  splitList(*fNodes),
+			Doms:   splitList(*fDoms),
+			EveryN: *sampleN,
+		}
+		if len(filter.Types) > 0 || len(filter.Nodes) > 0 || len(filter.Doms) > 0 || filter.EveryN > 1 {
+			sink = obs.NewFilterSink(sink, filter)
+		}
+		tracer = obs.NewTracerWithSink(sink)
 		opts.Tracer = tracer
 	}
+
+	// A panic mid-run still dumps the flight recorder before unwinding —
+	// the retained window is exactly what a crash investigation needs.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight(flight, *flightTo)
+			panic(r)
+		}
+	}()
 
 	var results []*dvc.ExperimentResult
 	if *exp == "all" {
@@ -121,13 +209,23 @@ func run() int {
 	}
 
 	if tracer != nil {
-		if *traceOut != "" {
-			if err := writeFile(*traceOut, tracer.WriteJSONL); err != nil {
+		if err := tracer.Flush(); err != nil {
+			return fail(err)
+		}
+		if *perfOut != "" {
+			if err := writeFile(*perfOut, func(w io.Writer) error {
+				return obs.WritePerfettoRecords(w, mem.Records())
+			}); err != nil {
 				return fail(err)
 			}
 		}
-		if *perfOut != "" {
-			if err := writeFile(*perfOut, tracer.WritePerfetto); err != nil {
+		if *report != "" {
+			if err := writeReport(*report, *exp, *seed, *trials, *full, *parallel, results, tracer, summary); err != nil {
+				return fail(err)
+			}
+		}
+		for _, f := range closers {
+			if err := f.Close(); err != nil {
 				return fail(err)
 			}
 		}
@@ -161,6 +259,7 @@ func run() int {
 		}
 	}
 	if failed > 0 {
+		dumpFlight(flight, *flightTo)
 		fmt.Fprintf(os.Stderr, "dvcsim: %d shape check(s) FAILED\n", failed)
 		return 1
 	}
@@ -168,6 +267,55 @@ func run() int {
 		fmt.Println("dvcsim: all shape checks passed")
 	}
 	return 0
+}
+
+// writeReport lays down the self-contained run artifact next to the
+// already-streamed trace.jsonl: config, results (tables + checks),
+// registry snapshot, streaming trace summary and the windowed metric
+// series. Every file's bytes are a pure function of the run.
+func writeReport(dir, exp string, seed int64, trials int, full bool, parallel int,
+	results []*dvc.ExperimentResult, tracer *dvc.Tracer, summary *obs.SummarySink) error {
+	writeJSON := func(name string, v any) error {
+		return writeFile(filepath.Join(dir, name), func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(v)
+		})
+	}
+	cfg := struct {
+		Experiment string `json:"experiment"`
+		Seed       int64  `json:"seed"`
+		Trials     int    `json:"trials,omitempty"`
+		Full       bool   `json:"full,omitempty"`
+		Parallel   int    `json:"parallel,omitempty"`
+	}{exp, seed, trials, full, parallel}
+	if err := writeJSON("config.json", cfg); err != nil {
+		return err
+	}
+	if err := writeJSON("results.json", results); err != nil {
+		return err
+	}
+	if err := writeJSON("registry.json", tracer.Registry()); err != nil {
+		return err
+	}
+	if err := writeJSON("summary.json", &summary.Summary); err != nil {
+		return err
+	}
+	return writeFile(filepath.Join(dir, "series.jsonl"), tracer.Series().WriteJSONL)
+}
+
+// dumpFlight writes the flight recorder's retained window, if one is
+// armed and has records.
+func dumpFlight(flight *obs.FlightSink, path string) {
+	if flight == nil || flight.Retained() == 0 {
+		return
+	}
+	if err := writeFile(path, flight.Dump); err != nil {
+		fmt.Fprintln(os.Stderr, "dvcsim: flight dump:", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "dvcsim: flight recorder dumped %d of %d records to %s\n",
+		flight.Retained(), flight.Total(), path)
 }
 
 // writeFile writes one exporter's output to path.
@@ -181,6 +329,33 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitTypes parses a comma-separated list of event types/categories.
+func splitTypes(s string) []obs.EventType {
+	parts := splitList(s)
+	if parts == nil {
+		return nil
+	}
+	out := make([]obs.EventType, len(parts))
+	for i, p := range parts {
+		out[i] = obs.EventType(p)
+	}
+	return out
 }
 
 func fail(err error) int {

@@ -1,6 +1,6 @@
 // Command dvctrace generates, validates and summarises job traces for
-// the resource-manager experiments, and summarises observability event
-// traces recorded by dvcsim -trace.
+// the resource-manager experiments, and queries, summarises, converts
+// and diffs observability event traces recorded by dvcsim.
 //
 // Usage:
 //
@@ -8,17 +8,35 @@
 //	dvctrace -validate trace.json              # parse + sanity-check
 //	dvctrace -summary trace.json               # widths, work, arrival span
 //	dvctrace -stats e2.jsonl                   # event counts + LSC epoch percentiles
+//	dvctrace -query e2.jsonl -type lsc -from 10s -to 2m
+//	dvctrace -query e2.jsonl -node n3 -every 10 > sampled.jsonl
+//	dvctrace -spans e2.jsonl -top 5            # slowest span names by p99
+//	dvctrace -convert e2.jsonl -o e2.json      # offline JSONL → Perfetto
+//	dvctrace -diff a.jsonl b.jsonl             # first divergent record
 //
-// Generated traces feed rm.SubmitTrace (and can be archived next to the
-// experiment output that consumed them).
+// Event-trace subcommands stream the input line at a time, so they work
+// on traces far larger than memory; only -convert materialises records
+// (the Perfetto metadata needs the full node/domain universe).
+//
+// -diff compares two traces byte-for-byte line by line and reports the
+// first divergent record — the debugging tool for the replay contract:
+// two same-seed runs must produce identical traces, and when they don't,
+// the first divergence localises the nondeterminism.
+//
+// Generated job traces feed rm.SubmitTrace (and can be archived next to
+// the experiment output that consumed them).
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"dvc/internal/metrics"
@@ -27,16 +45,30 @@ import (
 	"dvc/internal/workload"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		gen      = flag.Int("gen", 0, "generate a trace with this many jobs")
 		seed     = flag.Int64("seed", 42, "generation seed")
 		arrival  = flag.Duration("arrival", 30*time.Second, "mean inter-arrival time")
 		workMin  = flag.Duration("work-min", time.Minute, "minimum per-node work")
 		workMax  = flag.Duration("work-max", 10*time.Minute, "maximum per-node work")
-		validate = flag.String("validate", "", "validate a trace file")
-		summary  = flag.String("summary", "", "summarise a trace file")
+		validate = flag.String("validate", "", "validate a job trace file")
+		summary  = flag.String("summary", "", "summarise a job trace file")
 		stats    = flag.String("stats", "", "summarise an observability JSONL event trace (dvcsim -trace)")
+		query    = flag.String("query", "", "filter an event trace to stdout as JSONL")
+		spans    = flag.String("spans", "", "per-span-name duration percentiles for an event trace")
+		topK     = flag.Int("top", 0, "with -spans: only the K slowest span names by p99")
+		convert  = flag.String("convert", "", "convert an event trace to Perfetto trace_events JSON")
+		out      = flag.String("o", "", "with -convert: output path (default stdout)")
+		diff     = flag.Bool("diff", false, "compare two event traces: dvctrace -diff a.jsonl b.jsonl")
+		types    = flag.String("type", "", "with -query: comma-separated event types or categories (lsc, vm.pause)")
+		nodes    = flag.String("node", "", "with -query: comma-separated node names")
+		doms     = flag.String("dom", "", "with -query: comma-separated domain names")
+		from     = flag.Duration("from", 0, "with -query: keep records at or after this virtual time")
+		to       = flag.Duration("to", 0, "with -query: keep records at or before this virtual time (0 = unbounded)")
+		everyN   = flag.Uint64("every", 0, "with -query: keep every Nth instant/counter record (seq%N==0)")
 	)
 	flag.Parse()
 
@@ -48,33 +80,70 @@ func main() {
 		cfg.WorkMax = sim.Duration(*workMax)
 		trace := workload.Generate(rand.New(rand.NewSource(*seed)), cfg)
 		if err := workload.WriteTrace(os.Stdout, trace); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	case *validate != "":
-		trace := load(*validate)
+		trace, err := load(*validate)
+		if err != nil {
+			return fail(err)
+		}
 		fmt.Printf("ok: %d jobs\n", len(trace))
 	case *summary != "":
-		trace := load(*summary)
+		trace, err := load(*summary)
+		if err != nil {
+			return fail(err)
+		}
 		summarise(trace)
 	case *stats != "":
-		eventStats(*stats)
+		if err := eventStats(*stats); err != nil {
+			return fail(err)
+		}
+	case *query != "":
+		cfg := obs.FilterConfig{
+			Types:  splitTypes(*types),
+			Nodes:  splitList(*nodes),
+			Doms:   splitList(*doms),
+			From:   sim.Duration(*from),
+			To:     sim.Duration(*to),
+			EveryN: *everyN,
+		}
+		if err := queryTrace(*query, cfg, os.Stdout); err != nil {
+			return fail(err)
+		}
+	case *spans != "":
+		if err := spanStats(*spans, *topK, os.Stdout); err != nil {
+			return fail(err)
+		}
+	case *convert != "":
+		if err := convertTrace(*convert, *out); err != nil {
+			return fail(err)
+		}
+	case *diff:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dvctrace: -diff needs exactly two trace files")
+			return 2
+		}
+		same, err := diffTraces(flag.Arg(0), flag.Arg(1), os.Stdout)
+		if err != nil {
+			return fail(err)
+		}
+		if !same {
+			return 1
+		}
 	default:
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
-func load(path string) []workload.JobSpec {
+func load(path string) ([]workload.JobSpec, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return nil, err
 	}
 	defer f.Close()
-	trace, err := workload.ReadTrace(f)
-	if err != nil {
-		fatal(err)
-	}
-	return trace
+	return workload.ReadTrace(f)
 }
 
 func summarise(trace []workload.JobSpec) {
@@ -117,26 +186,24 @@ func summarise(trace []workload.JobSpec) {
 	}
 }
 
-// eventStats reads an observability JSONL event trace and prints the
+// eventStats streams an observability JSONL event trace and prints the
 // per-event-type record counts plus duration percentiles for LSC epoch
-// spans (B/E records paired by span id). Output is sorted, so identical
-// traces summarise byte-identically.
-func eventStats(path string) {
+// spans (B/E records paired by span id). One record is held at a time —
+// traces larger than memory summarise fine. Output is sorted, so
+// identical traces summarise byte-identically.
+func eventStats(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer f.Close()
-	recs, err := obs.ReadJSONL(f)
-	if err != nil {
-		fatal(err)
-	}
 
 	counts := map[string]int{}
 	begins := map[uint64]sim.Time{} // lsc.epoch begin TS, keyed by begin seq
 	var epochs metrics.Sample
-	commits, aborts := 0, 0
-	for _, r := range recs {
+	commits, aborts, total := 0, 0, 0
+	err = obs.DecodeJSONL(f, func(r *obs.Record) error {
+		total++
 		counts[string(r.Type)]++
 		switch r.Type {
 		case obs.EvLSCEpoch:
@@ -145,6 +212,7 @@ func eventStats(path string) {
 				begins[r.Span] = r.TS
 			case obs.PhaseEnd:
 				if start, ok := begins[r.Span]; ok {
+					delete(begins, r.Span)
 					epochs.AddTime(r.TS - start)
 				}
 			}
@@ -153,9 +221,13 @@ func eventStats(path string) {
 		case obs.EvLSCAbort:
 			aborts++
 		}
+		return nil
+	})
+	if err != nil {
+		return err
 	}
 
-	tbl := metrics.NewTable(fmt.Sprintf("event trace: %d records", len(recs)), "event", "count")
+	tbl := metrics.NewTable(fmt.Sprintf("event trace: %d records", total), "event", "count")
 	types := make([]string, 0, len(counts))
 	for typ := range counts {
 		types = append(types, typ)
@@ -172,6 +244,174 @@ func eventStats(path string) {
 			fmtDur(epochs.Percentile(50)), fmtDur(epochs.Percentile(90)),
 			fmtDur(epochs.Percentile(99)), fmtDur(epochs.Max()))
 	}
+	return nil
+}
+
+// queryTrace streams the trace through the filter, re-emitting matching
+// records as JSONL. The output is a valid trace subset: record bytes are
+// identical to the input lines (same encoder as the writer), so query
+// output feeds back into -stats/-spans/-convert.
+func queryTrace(path string, cfg obs.FilterConfig, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sink := obs.NewJSONLSink(w, 0)
+	err = obs.DecodeJSONL(f, func(r *obs.Record) error {
+		if !cfg.Match(r) {
+			return nil
+		}
+		return sink.WriteRecord(r)
+	})
+	if err != nil {
+		return err
+	}
+	return sink.Flush()
+}
+
+// spanStats streams the trace into a Summary and prints per-span-name
+// duration percentiles, slowest first by p99. With top > 0 only the K
+// slowest names print.
+func spanStats(path string, top int, w io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum := obs.NewSummary()
+	err = obs.DecodeJSONL(f, func(r *obs.Record) error {
+		sum.Add(r)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	names := sum.SpanNames()
+	// Slowest first by p99; ties break on the sorted name order, so the
+	// report is deterministic.
+	sort.SliceStable(names, func(a, b int) bool {
+		return sum.Spans(names[a]).Percentile(99) > sum.Spans(names[b]).Percentile(99)
+	})
+	if top > 0 && top < len(names) {
+		names = names[:top]
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("spans: %d records", sum.Total()),
+		"span", "count", "p50", "p90", "p99", "max")
+	for _, name := range names {
+		d := sum.Spans(name)
+		tbl.Row(name, d.N(),
+			fmtDur(d.Percentile(50)), fmtDur(d.Percentile(90)),
+			fmtDur(d.Percentile(99)), fmtDur(d.Max()))
+	}
+	_, err = fmt.Fprint(w, tbl.String())
+	return err
+}
+
+// convertTrace converts a JSONL event trace to Perfetto trace_events
+// JSON — byte-identical to what dvcsim's in-process exporter would have
+// produced for the same records, so runs can stream JSONL and convert
+// only the traces someone actually wants to look at.
+func convertTrace(path, outPath string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := io.Writer(os.Stdout)
+	if outPath != "" {
+		of, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	return obs.ConvertJSONL(f, w)
+}
+
+// diffTraces compares two JSONL traces line by line, reporting the first
+// divergent record (or the point where one trace ends early). Comparison
+// is on raw line bytes: the replay contract is byte identity, so a
+// semantic comparison would hide real divergences.
+func diffTraces(pathA, pathB string, w io.Writer) (same bool, err error) {
+	fa, err := os.Open(pathA)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(pathB)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+
+	sa := bufio.NewScanner(fa)
+	sa.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	sb := bufio.NewScanner(fb)
+	sb.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	line := 0
+	for {
+		okA, okB := sa.Scan(), sb.Scan()
+		line++
+		switch {
+		case okA && okB:
+			if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+				fmt.Fprintf(w, "traces diverge at record %d:\n  %s: %s\n  %s: %s\n",
+					line, pathA, sa.Bytes(), pathB, sb.Bytes())
+				return false, nil
+			}
+		case okA && !okB:
+			if err := sb.Err(); err != nil {
+				return false, err
+			}
+			fmt.Fprintf(w, "%s ends at record %d; %s continues:\n  %s\n", pathB, line-1, pathA, sa.Bytes())
+			return false, nil
+		case !okA && okB:
+			if err := sa.Err(); err != nil {
+				return false, err
+			}
+			fmt.Fprintf(w, "%s ends at record %d; %s continues:\n  %s\n", pathA, line-1, pathB, sb.Bytes())
+			return false, nil
+		default:
+			if err := sa.Err(); err != nil {
+				return false, err
+			}
+			if err := sb.Err(); err != nil {
+				return false, err
+			}
+			fmt.Fprintf(w, "traces identical: %d records\n", line-1)
+			return true, nil
+		}
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// splitTypes parses the -type flag into event types/categories.
+func splitTypes(s string) []obs.EventType {
+	parts := splitList(s)
+	if parts == nil {
+		return nil
+	}
+	out := make([]obs.EventType, len(parts))
+	for i, p := range parts {
+		out[i] = obs.EventType(p)
+	}
+	return out
 }
 
 // fmtDur renders a duration sampled in seconds.
@@ -179,7 +419,7 @@ func fmtDur(seconds float64) string {
 	return sim.Time(seconds * float64(sim.Second)).String()
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "dvctrace:", err)
-	os.Exit(1)
+	return 1
 }

@@ -104,6 +104,19 @@ type (
 	ExperimentResult = experiments.Result
 	// Tracer records a deterministic event/span trace (internal/obs).
 	Tracer = obs.Tracer
+	// Sink is the tracer's pluggable record pipeline: memory, streaming
+	// JSONL, flight recorder, filter/sample, or a tee of several.
+	Sink = obs.Sink
+	// FilterConfig selects a deterministic subset of a record stream.
+	FilterConfig = obs.FilterConfig
+	// FlightSink is a fixed-size ring buffer of the most recent records.
+	FlightSink = obs.FlightSink
+	// SummarySink accumulates streaming per-type counts and span
+	// percentiles without retaining records.
+	SummarySink = obs.SummarySink
+	// Series is a windowed time-series of registry metrics sampled by
+	// the kernel probe.
+	Series = obs.Series
 )
 
 // Workload constructors re-exported for applications.
@@ -131,6 +144,19 @@ var (
 	// NewTracer creates an event/span recorder for SetTracer or
 	// ExperimentOptions.Tracer.
 	NewTracer = obs.NewTracer
+	// NewTracerWithSink creates a tracer that forwards records to a
+	// custom sink instead of buffering them in memory.
+	NewTracerWithSink = obs.NewTracerWithSink
+	// NewJSONLSink creates a streaming JSONL sink with a fixed buffer.
+	NewJSONLSink = obs.NewJSONLSink
+	// NewFlightSink creates a fixed-size flight recorder.
+	NewFlightSink = obs.NewFlightSink
+	// NewFilterSink wraps a sink with a deterministic filter/sampler.
+	NewFilterSink = obs.NewFilterSink
+	// NewSummarySink creates a streaming trace summariser.
+	NewSummarySink = obs.NewSummarySink
+	// TeeSinks fans records out to several sinks in order.
+	TeeSinks = obs.Tee
 )
 
 // Simulation bundles a complete DVC environment: event kernel, physical

@@ -1,7 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
 	"testing"
+	"time"
 )
 
 // BenchmarkTracerDisabled measures the instrumented-hot-path cost when
@@ -20,13 +25,43 @@ func BenchmarkTracerDisabled(b *testing.B) {
 	}
 }
 
-// BenchmarkTracerEnabled is the reference point for the enabled path.
+// BenchmarkTracerEnabled measures the enabled path into the memory sink:
+// one instant with one attribute per op. With DVC_BENCH_JSON set the
+// ns/record and allocs/record land in the BENCH_obs artifact.
 func BenchmarkTracerEnabled(b *testing.B) {
 	tr := NewTracer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"))
 	}
+	reportObsBenchJSON(b, "TracerEnabled")
+}
+
+// BenchmarkTracerEnabledSpan measures a Begin/End pair on the enabled
+// path — the span table's allocate/free cycle plus two records.
+func BenchmarkTracerEnabledSpan(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := tr.Begin(1, EvLSCEpoch, "", "t", "epoch")
+		tr.End(2, id)
+	}
+	reportObsBenchJSON(b, "TracerEnabledSpan")
+}
+
+// BenchmarkTracerStreaming measures the full streaming pipeline: emit →
+// JSON encode → fixed buffer → discard. This is the per-record cost a
+// large traced run pays instead of O(records) memory.
+func BenchmarkTracerStreaming(b *testing.B) {
+	tr := NewTracerWithSink(NewJSONLSink(io.Discard, 0))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"))
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	reportObsBenchJSON(b, "TracerStreaming")
 }
 
 // TestTracerDisabledZeroAlloc pins the nil-path allocation count so a
@@ -42,4 +77,84 @@ func TestTracerDisabledZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("disabled tracer allocates: %v allocs/op", allocs)
 	}
+}
+
+// tracerOverheadCeiling is the enabled-path gate: one instant record
+// with one attribute, streamed through a JSONLSink into io.Discard, must
+// cost less than this per record. The true cost is a few hundred
+// nanoseconds (dominated by encoding/json); the ceiling is generous so
+// the gate only fires on structural regressions (a new allocation per
+// record, an accidental O(n) scan), not scheduler noise on a busy CI
+// runner.
+const tracerOverheadCeiling = 20 * time.Microsecond
+
+// TestTracerEnabledOverhead is the ns/record gate for the enabled
+// streaming path. Skipped under -race (instrumentation dominates) and
+// with -short.
+func TestTracerEnabledOverhead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates per-record cost")
+	}
+	if testing.Short() {
+		t.Skip("timing gate skipped in short mode")
+	}
+	const records = 200000
+	tr := NewTracerWithSink(NewJSONLSink(io.Discard, 0))
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		tr.Emit(1, EvTCPRetransmit, "n0", "d0", "rexmit", Str("conn", "c0"))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := time.Since(start) / records
+	t.Logf("enabled streaming path: %v/record (ceiling %v)", perRecord, tracerOverheadCeiling)
+	if perRecord > tracerOverheadCeiling {
+		t.Fatalf("enabled path costs %v/record, ceiling %v", perRecord, tracerOverheadCeiling)
+	}
+}
+
+// TestTracerMemoryBounded pins the streaming memory contract: a long
+// emit stream through a JSONLSink allocates O(buffer), not O(records) —
+// the tracer retains no record slice and the span table stays at the
+// high-water mark of concurrently-open spans.
+func TestTracerMemoryBounded(t *testing.T) {
+	tr := NewTracerWithSink(NewJSONLSink(io.Discard, 4096))
+	for i := 0; i < 100000; i++ {
+		id := tr.Begin(1, EvLSCEpoch, "", "t", "epoch")
+		tr.End(2, id)
+	}
+	if tr.Records() != nil {
+		t.Fatal("streaming tracer retained records")
+	}
+	if len(tr.open) != 1 {
+		t.Fatalf("span table grew to %d slots for fully-nested spans, want 1", len(tr.open))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reportObsBenchJSON appends one benchmark record to the DVC_BENCH_JSON
+// artifact (BENCH_obs.json in CI): ns and heap bytes per record.
+func reportObsBenchJSON(b *testing.B, name string) {
+	path := os.Getenv("DVC_BENCH_JSON")
+	if path == "" {
+		return
+	}
+	doc := struct {
+		Benchmark string  `json:"benchmark"`
+		N         int     `json:"n"`
+		NsPerOp   float64 `json:"ns_per_op"`
+	}{name, b.N, float64(b.Elapsed().Nanoseconds()) / float64(b.N)}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n", data)
 }

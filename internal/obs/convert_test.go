@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestConvertJSONLMatchesGolden pins the offline conversion pipeline:
+// stream the golden trace as JSONL (what a JSONLSink run would leave on
+// disk), convert it with ConvertJSONL, and require byte-equality with
+// both the in-process exporter and the committed golden file. This is
+// the contract that lets dvcsim stop holding records for Perfetto —
+// dvctrace -convert reproduces the exact same bytes after the fact.
+func TestConvertJSONLMatchesGolden(t *testing.T) {
+	tr := goldenTrace()
+
+	var inProcess bytes.Buffer
+	if err := tr.WritePerfetto(&inProcess); err != nil {
+		t.Fatal(err)
+	}
+
+	var jsonl bytes.Buffer
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	var converted bytes.Buffer
+	if err := ConvertJSONL(bytes.NewReader(jsonl.Bytes()), &converted); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(converted.Bytes(), inProcess.Bytes()) {
+		t.Fatalf("offline conversion differs from in-process exporter:\n got: %s\nwant: %s",
+			converted.Bytes(), inProcess.Bytes())
+	}
+
+	want, err := os.ReadFile(filepath.Join("testdata", "perfetto_golden.json"))
+	if err != nil {
+		t.Fatalf("%v (run TestPerfettoGolden with -update-golden first)", err)
+	}
+	if !bytes.Equal(converted.Bytes(), want) {
+		t.Fatalf("offline conversion differs from golden file:\n got: %s\nwant: %s", converted.Bytes(), want)
+	}
+}
+
+// TestConvertJSONLStreamedInput runs the conversion over JSONL produced
+// by a streaming sink rather than the memory exporter — the actual
+// production path.
+func TestConvertJSONLStreamedInput(t *testing.T) {
+	var jsonl bytes.Buffer
+	st := NewTracerWithSink(NewJSONLSink(&jsonl, 64))
+	ep := st.Begin(0, EvLSCEpoch, "", "t", "epoch", Int("gen", 0))
+	st.Emit(1000, EvVMPause, "nodeB", "vm1", "pause")
+	st.End(4000, ep, Str("outcome", "commit"))
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	mem := NewTracer()
+	ep2 := mem.Begin(0, EvLSCEpoch, "", "t", "epoch", Int("gen", 0))
+	mem.Emit(1000, EvVMPause, "nodeB", "vm1", "pause")
+	mem.End(4000, ep2, Str("outcome", "commit"))
+	var want bytes.Buffer
+	if err := mem.WritePerfetto(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	if err := ConvertJSONL(bytes.NewReader(jsonl.Bytes()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("conversion of streamed JSONL differs:\n got: %s\nwant: %s", got.Bytes(), want.Bytes())
+	}
+}

@@ -93,15 +93,28 @@ func (l *kvList) UnmarshalJSON(data []byte) error {
 }
 
 // WriteJSONL writes the trace as one JSON object per line in emission
-// order. Output bytes are a pure function of the recorded events.
+// order. Output bytes are a pure function of the recorded events — and
+// identical to what a JSONLSink would have streamed, record for record
+// (both paths go through toJSONRecord and json.Encoder). Only a
+// memory-backed tracer can export after the fact; a streaming tracer
+// already sent its records to its sink.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	if t.mem == nil {
+		return fmt.Errorf("obs: tracer is not memory-backed; attach a JSONLSink to stream instead")
+	}
+	return WriteRecordsJSONL(w, t.mem.recs)
+}
+
+// WriteRecordsJSONL writes a record slice as JSONL, the same bytes per
+// record as Tracer.WriteJSONL and JSONLSink.
+func WriteRecordsJSONL(w io.Writer, recs []Record) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw) // Encode appends the newline
-	for i := range t.recs {
-		if err := enc.Encode(toJSONRecord(&t.recs[i])); err != nil {
+	for i := range recs {
+		if err := enc.Encode(toJSONRecord(&recs[i])); err != nil {
 			return err
 		}
 	}
@@ -129,13 +142,16 @@ func toJSONRecord(r *Record) jsonRecord {
 	return jr
 }
 
-// ReadJSONL parses a JSONL trace back into records (cmd/dvctrace -stats
-// uses this).
-func ReadJSONL(r io.Reader) ([]Record, error) {
-	var out []Record
+// DecodeJSONL streams a JSONL trace through fn one record at a time,
+// holding only the current line in memory — large traces never
+// materialize as a slice. The record passed to fn is reused across
+// calls except for its Attrs; copy it if it must outlive the call.
+// Returning a non-nil error from fn stops the scan and propagates.
+func DecodeJSONL(r io.Reader, fn func(rec *Record) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	line := 0
+	var rec Record
 	for sc.Scan() {
 		line++
 		raw := bytes.TrimSpace(sc.Bytes())
@@ -144,30 +160,44 @@ func ReadJSONL(r io.Reader) ([]Record, error) {
 		}
 		var jr jsonRecord
 		if err := json.Unmarshal(raw, &jr); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+			return fmt.Errorf("obs: line %d: %w", line, err)
 		}
-		rec := Record{
+		if len(jr.Ph) != 1 {
+			return fmt.Errorf("obs: line %d: bad phase %q", line, jr.Ph)
+		}
+		rec = Record{
 			Seq:  jr.Seq,
 			TS:   sim.Time(jr.TS),
+			Ph:   jr.Ph[0],
 			Type: EventType(jr.Ev),
 			Node: jr.Node,
 			Dom:  jr.Dom,
 			Name: jr.Name,
 			Span: jr.Span,
 		}
-		if len(jr.Ph) != 1 {
-			return nil, fmt.Errorf("obs: line %d: bad phase %q", line, jr.Ph)
-		}
-		rec.Ph = jr.Ph[0]
 		if jr.Value != nil {
 			rec.Value = *jr.Value
 		}
 		if len(jr.Attrs) > 0 {
 			rec.Attrs = []KV(jr.Attrs)
 		}
-		out = append(out, rec)
+		if err := fn(&rec); err != nil {
+			return err
+		}
 	}
-	if err := sc.Err(); err != nil {
+	return sc.Err()
+}
+
+// ReadJSONL parses a JSONL trace back into a record slice. Tooling that
+// only needs one pass should prefer DecodeJSONL, which does not hold the
+// whole trace.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var out []Record
+	err := DecodeJSONL(r, func(rec *Record) error {
+		out = append(out, *rec)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -1,7 +1,11 @@
 // Package obs is the deterministic observability layer for the DVC
 // simulation core: a structured event/span recorder (Tracer) keyed off
-// sim.Time and a counter/gauge/histogram registry (Registry) with stable
-// sorted output.
+// sim.Time, a counter/gauge/histogram registry (Registry) with stable
+// sorted output, a windowed time-series of registry metrics (Series),
+// and a pluggable record pipeline (Sink) that decides where records go —
+// buffered in memory, streamed as JSONL through a fixed-size buffer,
+// retained in a flight-recorder ring, or filtered/sampled
+// deterministically.
 //
 // Determinism is part of the contract. Every record is timestamped with
 // virtual time supplied by the caller (components already hold the
@@ -9,14 +13,19 @@
 // exporters (JSONL and Chrome/Perfetto trace_events JSON) produce
 // byte-identical output for identical runs — the seed-replay tests in
 // internal/experiments hash the trace bytes of two runs and require
-// equality. The tracer never reads the host clock and never spawns
-// goroutines, so it passes the dvclint determinism suite like the rest of
-// the simulation core.
+// equality. The same holds per sink: the streaming JSONL sink emits the
+// exact bytes the memory sink would have exported, sampling is keyed on
+// record sequence numbers (never a random draw), and the flight
+// recorder's retained window is a pure function of the stream. The
+// tracer never reads the host clock and never spawns goroutines, so it
+// passes the dvclint determinism suite like the rest of the simulation
+// core.
 //
 // A nil *Tracer is the disabled tracer: every method is nil-receiver
 // safe and returns immediately, so instrumented hot paths pay only a
-// nil-check when tracing is off (BenchmarkTracerDisabled guards this —
-// zero allocations on the nil path).
+// nil-check when tracing is off (BenchmarkTracerDisabled and the
+// //dvc:hotpath annotations guard this — zero allocations on the nil
+// path).
 package obs
 
 import (
@@ -101,7 +110,7 @@ func Float(k string, v float64) KV { return KV{k, strconv.FormatFloat(v, 'g', -1
 func Dur(k string, t sim.Time) KV { return KV{k, strconv.FormatInt(int64(t), 10)} }
 
 // Record is one trace entry: an instant event, a span boundary, or a
-// counter sample. Records are immutable once appended.
+// counter sample. Records are immutable once emitted.
 type Record struct {
 	Seq  uint64   // emission order, dense from 0
 	TS   sim.Time // virtual time supplied by the instrumented component
@@ -122,19 +131,55 @@ type Record struct {
 }
 
 // SpanID refers to an open span. The zero SpanID is inert: Ending it is
-// a no-op, which is what Begin on a disabled tracer returns.
+// a no-op, which is what Begin on a disabled tracer returns. SpanIDs are
+// slots in a small open-span table, reused after End — hold one only
+// between its Begin and its End.
 type SpanID uint64
 
-// Tracer records events and spans in emission order. It is single-
-// threaded like the simulation kernel it observes; a nil *Tracer is the
-// disabled tracer and every method no-ops.
-type Tracer struct {
-	recs []Record
-	reg  *Registry
+// openSpan is the identity a Begin leaves behind so its End can mirror
+// it without the tracer retaining the record stream (the streaming sinks
+// depend on this: memory is bounded by concurrently-open spans, not by
+// trace length).
+type openSpan struct {
+	seq             uint64
+	typ             EventType
+	node, dom, name string
+	live            bool
 }
 
-// NewTracer creates an enabled tracer with an empty registry.
-func NewTracer() *Tracer { return &Tracer{reg: NewRegistry()} }
+// Tracer records events and spans in emission order and forwards every
+// record to its Sink. It is single-threaded like the simulation kernel
+// it observes; a nil *Tracer is the disabled tracer and every method
+// no-ops.
+type Tracer struct {
+	sink Sink
+	mem  *MemorySink // non-nil when sink retains records in memory
+	next uint64      // next sequence number (== records emitted)
+	open []openSpan  // open-span table; SpanID = slot+1
+	free []int32     // reusable slots
+	err  error       // first sink error, sticky
+
+	reg    *Registry
+	series *Series
+}
+
+// NewTracer creates an enabled tracer buffering records in memory (a
+// MemorySink), with an empty registry and series — the default for tests
+// and for runs that export Perfetto in-process.
+func NewTracer() *Tracer { return NewTracerWithSink(NewMemorySink()) }
+
+// NewTracerWithSink creates an enabled tracer forwarding records to
+// sink. With any sink other than a MemorySink the tracer retains no
+// records: Records returns nil and the exporters that need the full
+// stream (WriteJSONL, WritePerfetto) report an error — stream the JSONL
+// through a JSONLSink and convert offline with dvctrace instead.
+func NewTracerWithSink(sink Sink) *Tracer {
+	t := &Tracer{sink: sink, reg: NewRegistry(), series: NewSeries()}
+	if m, ok := sink.(*MemorySink); ok {
+		t.mem = m
+	}
+	return t
+}
 
 // Enabled reports whether the tracer records anything.
 func (t *Tracer) Enabled() bool { return t != nil }
@@ -147,65 +192,103 @@ func (t *Tracer) Registry() *Registry {
 	return t.reg
 }
 
-// Records returns the recorded entries in emission order. The slice is
-// shared; callers must not mutate it.
-func (t *Tracer) Records() []Record {
+// Series returns the tracer's windowed metric time-series (nil when
+// disabled). The kernel probe samples into it at every tick.
+func (t *Tracer) Series() *Series {
 	if t == nil {
 		return nil
 	}
-	return t.recs
+	return t.series
 }
 
-// Len reports how many records have been emitted.
+// Records returns the recorded entries in emission order when the tracer
+// is memory-backed, nil otherwise. The slice is shared; callers must not
+// mutate it.
+func (t *Tracer) Records() []Record {
+	if t == nil || t.mem == nil {
+		return nil
+	}
+	return t.mem.recs
+}
+
+// Len reports how many records have been emitted (through any sink).
 func (t *Tracer) Len() int {
 	if t == nil {
 		return 0
 	}
-	return len(t.recs)
+	return int(t.next)
+}
+
+// Err returns the first error a sink reported, if any. Instrumented
+// components cannot handle I/O errors mid-simulation, so the tracer
+// records the first failure and drops subsequent records; the run's
+// driver checks Err (via Flush) after the run.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Flush drains the sink's buffers and reports the first error seen on
+// the record path. Call after the run, before closing the underlying
+// writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.sink.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
 }
 
 // Emit records an instant event at virtual time ts.
+//
+//dvc:hotpath
 func (t *Tracer) Emit(ts sim.Time, typ EventType, node, dom, name string, kv ...KV) {
 	if t == nil {
 		return
 	}
-	t.append(Record{TS: ts, Ph: PhaseInstant, Type: typ, Node: node, Dom: dom, Name: name, Attrs: cloneKV(kv)})
+	t.emitInstant(ts, typ, node, dom, name, kv)
 }
 
 // Begin opens a span at ts and returns its id for End. Spans nest
 // naturally: inner Begin/End pairs sit inside outer ones on the same
 // (node, dom) timeline.
+//
+//dvc:hotpath
 func (t *Tracer) Begin(ts sim.Time, typ EventType, node, dom, name string, kv ...KV) SpanID {
 	if t == nil {
 		return 0
 	}
-	seq := t.append(Record{TS: ts, Ph: PhaseBegin, Type: typ, Node: node, Dom: dom, Name: name, Attrs: cloneKV(kv)})
-	t.recs[len(t.recs)-1].Span = seq
-	return SpanID(len(t.recs)) // index+1, so the zero SpanID stays inert
+	return t.begin(ts, typ, node, dom, name, kv)
 }
 
 // End closes a span opened by Begin, copying its identity so exporters
 // can pair the records without global state.
+//
+//dvc:hotpath
 func (t *Tracer) End(ts sim.Time, id SpanID, kv ...KV) {
-	if t == nil || id == 0 || int(id) > len(t.recs) {
+	if t == nil || id == 0 {
 		return
 	}
-	b := t.recs[id-1]
-	if b.Ph != PhaseBegin {
-		return
-	}
-	t.append(Record{TS: ts, Ph: PhaseEnd, Type: b.Type, Node: b.Node, Dom: b.Dom, Name: b.Name, Span: b.Seq, Attrs: cloneKV(kv)})
+	t.end(ts, id, kv)
 }
 
 // Counter records a counter sample (a Perfetto counter-track point).
+//
+//dvc:hotpath
 func (t *Tracer) Counter(ts sim.Time, typ EventType, node, dom, name string, v float64) {
 	if t == nil {
 		return
 	}
-	t.append(Record{TS: ts, Ph: PhaseCounter, Type: typ, Node: node, Dom: dom, Name: name, Value: v})
+	t.counter(ts, typ, node, dom, name, v)
 }
 
 // Inc adds delta to the named registry counter.
+//
+//dvc:hotpath
 func (t *Tracer) Inc(name string, delta float64) {
 	if t == nil {
 		return
@@ -214,6 +297,8 @@ func (t *Tracer) Inc(name string, delta float64) {
 }
 
 // Gauge sets the named registry gauge.
+//
+//dvc:hotpath
 func (t *Tracer) Gauge(name string, v float64) {
 	if t == nil {
 		return
@@ -222,6 +307,8 @@ func (t *Tracer) Gauge(name string, v float64) {
 }
 
 // Observe adds an observation to the named registry histogram.
+//
+//dvc:hotpath
 func (t *Tracer) Observe(name string, v float64) {
 	if t == nil {
 		return
@@ -229,11 +316,66 @@ func (t *Tracer) Observe(name string, v float64) {
 	t.reg.Observe(name, v)
 }
 
-// Child returns a fresh, empty tracer intended for one parallel trial.
-// A nil (disabled) parent returns a nil child, so untraced runs stay
-// untraced all the way down. Children are independent single-threaded
-// tracers; after the trial completes, hand them back to the parent with
-// Splice in trial order.
+// SampleSeries snapshots the registry's counters and gauges into the
+// time-series at virtual time ts (the kernel probe's per-tick hook).
+func (t *Tracer) SampleSeries(ts sim.Time) {
+	if t == nil {
+		return
+	}
+	t.series.Sample(ts, t.reg)
+}
+
+// emitInstant is Emit's enabled path.
+func (t *Tracer) emitInstant(ts sim.Time, typ EventType, node, dom, name string, kv []KV) {
+	t.emit(Record{TS: ts, Ph: PhaseInstant, Type: typ, Node: node, Dom: dom, Name: name, Attrs: cloneKV(kv)})
+}
+
+// begin is Begin's enabled path: emit the Begin record (its Span field
+// self-references its own seq) and park the span's identity in the
+// open-span table for End to mirror.
+func (t *Tracer) begin(ts sim.Time, typ EventType, node, dom, name string, kv []KV) SpanID {
+	seq := t.emit(Record{TS: ts, Ph: PhaseBegin, Type: typ, Node: node, Dom: dom, Name: name, Span: t.next, Attrs: cloneKV(kv)})
+	var slot int32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.open = append(t.open, openSpan{})
+		slot = int32(len(t.open) - 1)
+	}
+	t.open[slot] = openSpan{seq: seq, typ: typ, node: node, dom: dom, name: name, live: true}
+	return SpanID(slot + 1)
+}
+
+// end is End's enabled path: mirror the Begin's identity from the
+// open-span table and release the slot. Ids that are out of range or
+// already ended are ignored, like the zero SpanID.
+func (t *Tracer) end(ts sim.Time, id SpanID, kv []KV) {
+	if int(id) > len(t.open) {
+		return
+	}
+	s := &t.open[id-1]
+	if !s.live {
+		return
+	}
+	t.emit(Record{TS: ts, Ph: PhaseEnd, Type: s.typ, Node: s.node, Dom: s.dom, Name: s.name, Span: s.seq, Attrs: cloneKV(kv)})
+	s.live = false
+	t.free = append(t.free, int32(id-1))
+}
+
+// counter is Counter's enabled path.
+func (t *Tracer) counter(ts sim.Time, typ EventType, node, dom, name string, v float64) {
+	t.emit(Record{TS: ts, Ph: PhaseCounter, Type: typ, Node: node, Dom: dom, Name: name, Value: v})
+}
+
+// Child returns a fresh, empty memory-backed tracer intended for one
+// parallel trial. A nil (disabled) parent returns a nil child, so
+// untraced runs stay untraced all the way down. Children are independent
+// single-threaded tracers; after the trial completes, hand them back to
+// the parent with Splice in trial order. Children buffer in memory by
+// design — splicing needs the whole trial in order — so the parent's
+// sink (streaming or otherwise) sees one trial at a time, in trial
+// order.
 func (t *Tracer) Child() *Tracer {
 	if t == nil {
 		return nil
@@ -248,14 +390,18 @@ func (t *Tracer) Child() *Tracer {
 // so begin/end pairing — and therefore the exporters' byte output — is
 // preserved. Child registries merge in the same order: counters add,
 // gauges take the later child's value (last-write-wins, as a serial run
-// would), histograms append their observations.
+// would), histograms append their observations. Child series rows append
+// in the same order.
 //
 // This is what keeps the JSONL replay contract byte-identical under
 // parallel trial execution: trials record into private children
 // concurrently, and the parent splices them back in trial-index order,
-// reproducing the emission order of the serial loop. Nil children (from
-// a disabled parent, or trials skipped by a panic) are ignored; calling
-// Splice on a nil tracer is a no-op.
+// reproducing the emission order of the serial loop — and with a
+// streaming parent sink the records flow straight out, so the parent
+// never holds more than the sink's fixed buffer. Nil children (from a
+// disabled parent, or trials skipped by a panic) are ignored; calling
+// Splice on a nil tracer is a no-op. Children must be memory-backed
+// (Child guarantees this).
 func (t *Tracer) Splice(children ...*Tracer) {
 	if t == nil {
 		return
@@ -264,30 +410,53 @@ func (t *Tracer) Splice(children ...*Tracer) {
 		if c == nil {
 			continue
 		}
-		off := uint64(len(t.recs))
-		for _, r := range c.recs {
+		if c.mem == nil {
+			panic("obs: Splice child is not memory-backed; children must come from Child()")
+		}
+		off := t.next
+		for i := range c.mem.recs {
+			r := c.mem.recs[i]
 			r.Seq += off
 			if r.Ph == PhaseBegin || r.Ph == PhaseEnd {
 				r.Span += off
 			}
-			t.recs = append(t.recs, r)
+			t.write(&r)
 		}
+		t.next = off + uint64(len(c.mem.recs))
 		t.reg.merge(c.reg)
+		t.series.Merge(c.series)
 	}
 }
 
-// append assigns the next sequence number and stores the record.
-func (t *Tracer) append(r Record) uint64 {
-	r.Seq = uint64(len(t.recs))
-	t.recs = append(t.recs, r)
+// emit assigns the next sequence number and forwards the record.
+func (t *Tracer) emit(r Record) uint64 {
+	r.Seq = t.next
+	t.next++
+	t.write(&r)
 	return r.Seq
 }
 
+// write forwards one finished record to the sink, capturing the first
+// error.
+func (t *Tracer) write(r *Record) {
+	if t.err != nil {
+		return
+	}
+	if err := t.sink.WriteRecord(r); err != nil {
+		t.err = err
+	}
+}
+
 // cloneKV copies the caller's attribute list so the variadic slice never
-// escapes at call sites (keeping the disabled path allocation-free).
+// escapes at call sites (keeping the disabled path allocation-free). The
+// clone is capacity-exact: make+copy allocates len(kv) entries, where
+// append-to-nil would round the capacity up to the next size class and
+// waste a slot per record on the enabled hot path.
 func cloneKV(kv []KV) []KV {
 	if len(kv) == 0 {
 		return nil
 	}
-	return append([]KV(nil), kv...)
+	out := make([]KV, len(kv))
+	copy(out, kv)
+	return out
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 	"strings"
@@ -44,12 +45,24 @@ type pfDoc struct {
 }
 
 // WritePerfetto writes the trace as Chrome/Perfetto trace_events JSON,
-// loadable in ui.perfetto.dev or chrome://tracing.
+// loadable in ui.perfetto.dev or chrome://tracing. Like WriteJSONL this
+// needs the full record stream, so only a memory-backed tracer can
+// export; streaming runs convert their JSONL offline with
+// dvctrace -convert (ConvertJSONL), which produces the same bytes.
 func (t *Tracer) WritePerfetto(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	doc := pfDoc{TraceEvents: t.perfettoEvents(), DisplayTimeUnit: "ms"}
+	if t.mem == nil {
+		return fmt.Errorf("obs: tracer is not memory-backed; convert the streamed JSONL with dvctrace -convert")
+	}
+	return WritePerfettoRecords(w, t.mem.recs)
+}
+
+// WritePerfettoRecords writes a record slice as trace_events JSON — the
+// same bytes Tracer.WritePerfetto produces for the same records.
+func WritePerfettoRecords(w io.Writer, recs []Record) error {
+	doc := pfDoc{TraceEvents: perfettoEvents(recs), DisplayTimeUnit: "ms"}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	if err := enc.Encode(doc); err != nil {
@@ -58,13 +71,26 @@ func (t *Tracer) WritePerfetto(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ConvertJSONL converts a JSONL trace to trace_events JSON offline. The
+// pid/tid metadata needs the full node/domain universe and the event
+// stream is (ts, seq)-sorted, so conversion reads the whole trace; the
+// output is byte-identical to the in-process exporter's for the same
+// records (the golden-file test pins this).
+func ConvertJSONL(r io.Reader, w io.Writer) error {
+	recs, err := ReadJSONL(r)
+	if err != nil {
+		return err
+	}
+	return WritePerfettoRecords(w, recs)
+}
+
 // perfettoEvents builds the metadata + event stream.
-func (t *Tracer) perfettoEvents() []pfEvent {
+func perfettoEvents(recs []Record) []pfEvent {
 	// Assign pids: sorted node names, with "" (site) first.
 	nodeSet := map[string]bool{}
 	threadSet := map[string]map[string]bool{} // node -> dom set
-	for i := range t.recs {
-		r := &t.recs[i]
+	for i := range recs {
+		r := &recs[i]
 		nodeSet[r.Node] = true
 		if threadSet[r.Node] == nil {
 			threadSet[r.Node] = map[string]bool{}
@@ -109,12 +135,12 @@ func (t *Tracer) perfettoEvents() []pfEvent {
 	// Event stream sorted by (ts, seq). Emission order is already time-
 	// ordered within one kernel, but a multi-trial trace restarts virtual
 	// time per trial; the stable sort keeps the file's ts monotonic.
-	order := make([]int, len(t.recs))
+	order := make([]int, len(recs))
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := &t.recs[order[a]], &t.recs[order[b]]
+		ra, rb := &recs[order[a]], &recs[order[b]]
 		if ra.TS != rb.TS {
 			return ra.TS < rb.TS
 		}
@@ -123,7 +149,7 @@ func (t *Tracer) perfettoEvents() []pfEvent {
 
 	events := meta
 	for _, i := range order {
-		r := &t.recs[i]
+		r := &recs[i]
 		name := r.Name
 		if name == "" {
 			name = string(r.Type)

@@ -107,7 +107,7 @@ func TestPerfettoValidAndSorted(t *testing.T) {
 
 func TestPerfettoPidTidAssignment(t *testing.T) {
 	tr := goldenTrace()
-	events := tr.perfettoEvents()
+	events := perfettoEvents(tr.Records())
 
 	// pid 1 must be the synthetic site process, and its tid 1 the host
 	// thread; named nodes follow in sorted order.

@@ -51,5 +51,6 @@ func (p *KernelProbe) sample() {
 	p.t.Gauge("sim.events_fired", fired)
 	p.t.Gauge("sim.queue_depth", depth)
 	p.t.Observe("sim.queue_depth_samples", depth)
+	p.t.SampleSeries(now)
 	p.timer.Reset(p.every)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is compiled in. The
+// enabled-path overhead gate skips under -race: instrumentation inflates
+// per-record cost far past what the tracer itself spends.
+const raceEnabled = true

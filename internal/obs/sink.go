@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"dvc/internal/metrics"
+	"dvc/internal/sim"
+)
+
+// Sink consumes trace records in final sequence order. The tracer owns
+// sequencing and span pairing; a sink only decides where the records go
+// (memory, a streaming writer, a flight-recorder ring) or which subset
+// survives (filter/sample). Sinks are single-threaded like the tracer
+// that feeds them and must be deterministic: the same record stream must
+// produce the same observable output, byte for byte where the output is
+// bytes.
+//
+// Records handed to WriteRecord are owned by the tracer; a sink that
+// retains one past the call must copy the Record value (the Attrs slice
+// is immutable once emitted, so a shallow copy is sufficient — this is
+// what MemorySink and FlightSink do).
+type Sink interface {
+	WriteRecord(r *Record) error
+	// Flush forces buffered output down to the underlying writer. The
+	// tracer calls it from Tracer.Flush; sinks without buffering return
+	// nil.
+	Flush() error
+}
+
+// MemorySink buffers every record in memory — the pre-streaming tracer
+// behavior, kept as the default because tests and the in-process
+// Perfetto exporter need the full record slice.
+type MemorySink struct {
+	recs []Record
+}
+
+// NewMemorySink creates an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// WriteRecord appends a copy of the record.
+func (s *MemorySink) WriteRecord(r *Record) error {
+	s.recs = append(s.recs, *r)
+	return nil
+}
+
+// Flush is a no-op.
+func (s *MemorySink) Flush() error { return nil }
+
+// Records returns the buffered records in emission order. The slice is
+// shared; callers must not mutate it.
+func (s *MemorySink) Records() []Record { return s.recs }
+
+// JSONLSink streams records as JSONL through a fixed-size buffer: one
+// encoded line per record, flushed whenever the buffer fills. Its output
+// is byte-identical to Tracer.WriteJSONL over the same record stream
+// (both feed toJSONRecord into an encoding/json Encoder), so switching a
+// run from the memory sink to the streaming sink changes peak tracer
+// memory from O(records) to O(bufSize) without moving a single output
+// byte — the sink-equivalence tests in internal/experiments prove this
+// on a full E2 run at several -parallel values.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// DefaultJSONLBuffer is the streaming sink's buffer size when the caller
+// passes bufSize <= 0.
+const DefaultJSONLBuffer = 256 << 10
+
+// NewJSONLSink creates a streaming JSONL sink over w with a fixed
+// bufSize-byte buffer (<= 0 selects DefaultJSONLBuffer).
+func NewJSONLSink(w io.Writer, bufSize int) *JSONLSink {
+	if bufSize <= 0 {
+		bufSize = DefaultJSONLBuffer
+	}
+	bw := bufio.NewWriterSize(w, bufSize)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteRecord encodes one record as a JSONL line.
+func (s *JSONLSink) WriteRecord(r *Record) error {
+	return s.enc.Encode(toJSONRecord(r))
+}
+
+// Flush drains the buffer to the underlying writer.
+func (s *JSONLSink) Flush() error { return s.bw.Flush() }
+
+// FlightSink is a fixed-size ring buffer holding the most recent
+// records — a flight recorder. It costs O(size) memory no matter how
+// long the run is; when something goes wrong (a panic, a failed shape
+// check) Dump writes the retained window as JSONL so the last moments
+// before the failure are inspectable with the same dvctrace tooling as
+// a full trace. Dump output is deterministic: it is a pure function of
+// the record stream and the ring size.
+type FlightSink struct {
+	ring  []Record
+	total int
+}
+
+// NewFlightSink creates a flight recorder retaining the last size
+// records (size < 1 is clamped to 1).
+func NewFlightSink(size int) *FlightSink {
+	if size < 1 {
+		size = 1
+	}
+	return &FlightSink{ring: make([]Record, size)}
+}
+
+// WriteRecord stores a copy of the record, evicting the oldest once the
+// ring is full.
+func (s *FlightSink) WriteRecord(r *Record) error {
+	s.ring[s.total%len(s.ring)] = *r
+	s.total++
+	return nil
+}
+
+// Flush is a no-op.
+func (s *FlightSink) Flush() error { return nil }
+
+// Total reports how many records passed through the recorder (not how
+// many are retained).
+func (s *FlightSink) Total() int { return s.total }
+
+// Retained reports how many records the ring currently holds.
+func (s *FlightSink) Retained() int {
+	if s.total < len(s.ring) {
+		return s.total
+	}
+	return len(s.ring)
+}
+
+// Dump writes the retained window, oldest record first, as JSONL.
+func (s *FlightSink) Dump(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	n := s.Retained()
+	start := s.total - n
+	for i := 0; i < n; i++ {
+		r := &s.ring[(start+i)%len(s.ring)]
+		if err := enc.Encode(toJSONRecord(r)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FilterConfig selects a deterministic subset of a record stream. All
+// predicates are pure functions of the record itself — matching never
+// consults a clock, a random source, or any out-of-band state — so the
+// same stream filters to the same subset on every run.
+type FilterConfig struct {
+	// Types keeps only records whose event type matches one entry
+	// exactly, or whose category (the dotted prefix: "lsc" matches
+	// "lsc.epoch") matches one entry. Empty keeps every type.
+	Types []EventType
+	// Nodes keeps only records on the named physical nodes. Empty keeps
+	// every node (including site-level records with Node == "").
+	Nodes []string
+	// Doms keeps only records on the named VM/domain timelines. Empty
+	// keeps every domain.
+	Doms []string
+	// From/To bound the record's virtual timestamp: From <= TS <= To.
+	// A zero To means unbounded.
+	From, To sim.Time
+	// EveryN keeps one instant/counter record in N, keyed on the
+	// record's sequence number (Seq%EveryN == 0) — never on a random
+	// draw, so sampling is part of the deterministic contract. Span
+	// Begin/End records always pass the sampler: dropping one half of a
+	// pair would corrupt span pairing downstream. 0 and 1 keep
+	// everything.
+	EveryN uint64
+}
+
+// Match reports whether the record survives the filter.
+func (c *FilterConfig) Match(r *Record) bool {
+	if len(c.Types) > 0 {
+		ok := false
+		cat := categoryOf(r.Type)
+		for _, t := range c.Types {
+			if r.Type == t || cat == string(t) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(c.Nodes) > 0 && !containsString(c.Nodes, r.Node) {
+		return false
+	}
+	if len(c.Doms) > 0 && !containsString(c.Doms, r.Dom) {
+		return false
+	}
+	if r.TS < c.From {
+		return false
+	}
+	if c.To > 0 && r.TS > c.To {
+		return false
+	}
+	if c.EveryN > 1 && (r.Ph == PhaseInstant || r.Ph == PhaseCounter) && r.Seq%c.EveryN != 0 {
+		return false
+	}
+	return true
+}
+
+func containsString(set []string, s string) bool {
+	for _, v := range set {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterSink forwards the records matching cfg to the next sink.
+type FilterSink struct {
+	cfg  FilterConfig
+	next Sink
+}
+
+// NewFilterSink wraps next with a deterministic filter/sampler.
+func NewFilterSink(next Sink, cfg FilterConfig) *FilterSink {
+	return &FilterSink{cfg: cfg, next: next}
+}
+
+// WriteRecord forwards matching records.
+func (s *FilterSink) WriteRecord(r *Record) error {
+	if !s.cfg.Match(r) {
+		return nil
+	}
+	return s.next.WriteRecord(r)
+}
+
+// Flush flushes the wrapped sink.
+func (s *FilterSink) Flush() error { return s.next.Flush() }
+
+// teeSink fans each record out to several sinks in order.
+type teeSink struct {
+	sinks []Sink
+}
+
+// Tee composes sinks: every record goes to each sink in argument order,
+// and Flush flushes them in the same order. A single sink is returned
+// unwrapped; zero sinks tee to nothing.
+func Tee(sinks ...Sink) Sink {
+	if len(sinks) == 1 {
+		return sinks[0]
+	}
+	return &teeSink{sinks: sinks}
+}
+
+func (s *teeSink) WriteRecord(r *Record) error {
+	for _, next := range s.sinks {
+		if err := next.WriteRecord(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *teeSink) Flush() error {
+	for _, next := range s.sinks {
+		if err := next.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary accumulates the streaming per-type record counts and
+// per-span-name duration statistics of a trace without retaining the
+// records themselves: O(event types + span names + open spans) memory
+// for arbitrarily long traces. It backs the run report's trace summary
+// and dvctrace's streaming statistics.
+type Summary struct {
+	total  int
+	byType map[EventType]int
+	open   map[uint64]sim.Time        // begin seq -> begin TS
+	spans  map[string]*metrics.Sample // span name -> durations (seconds)
+}
+
+// NewSummary creates an empty trace summary.
+func NewSummary() *Summary {
+	return &Summary{
+		byType: make(map[EventType]int),
+		open:   make(map[uint64]sim.Time),
+		spans:  make(map[string]*metrics.Sample),
+	}
+}
+
+// Add folds one record into the summary.
+func (s *Summary) Add(r *Record) {
+	s.total++
+	s.byType[r.Type]++
+	switch r.Ph {
+	case PhaseBegin:
+		s.open[r.Span] = r.TS
+	case PhaseEnd:
+		if begin, ok := s.open[r.Span]; ok {
+			delete(s.open, r.Span)
+			name := r.Name
+			if name == "" {
+				name = string(r.Type)
+			}
+			sample := s.spans[name]
+			if sample == nil {
+				sample = &metrics.Sample{}
+				s.spans[name] = sample
+			}
+			sample.AddTime(r.TS - begin)
+		}
+	}
+}
+
+// Total reports how many records were summarised.
+func (s *Summary) Total() int { return s.total }
+
+// CountByType returns the record count for one event type.
+func (s *Summary) CountByType(t EventType) int { return s.byType[t] }
+
+// Types returns the observed event types in sorted order.
+func (s *Summary) Types() []EventType {
+	names := make([]string, 0, len(s.byType))
+	for t := range s.byType {
+		names = append(names, string(t))
+	}
+	sort.Strings(names)
+	out := make([]EventType, len(names))
+	for i, n := range names {
+		out[i] = EventType(n)
+	}
+	return out
+}
+
+// SpanNames returns the completed span names in sorted order.
+func (s *Summary) SpanNames() []string {
+	names := make([]string, 0, len(s.spans))
+	for n := range s.spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Spans returns the duration sample for one completed span name (nil
+// when absent).
+func (s *Summary) Spans(name string) *metrics.Sample { return s.spans[name] }
+
+// summarySpan is the marshalled shape of one span-name entry.
+type summarySpan struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_s"`
+	P90   float64 `json:"p90_s"`
+	P99   float64 `json:"p99_s"`
+	Max   float64 `json:"max_s"`
+}
+
+// MarshalJSON renders the summary with sorted keys (encoding/json sorts
+// map keys, so the bytes are a pure function of the accumulated state).
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	events := make(map[string]int, len(s.byType))
+	for _, t := range s.Types() {
+		events[string(t)] = s.byType[t]
+	}
+	spans := make(map[string]summarySpan, len(s.spans))
+	for _, name := range s.SpanNames() {
+		d := s.spans[name]
+		spans[name] = summarySpan{
+			Count: d.N(), P50: d.Percentile(50), P90: d.Percentile(90),
+			P99: d.Percentile(99), Max: d.Max(),
+		}
+	}
+	return json.Marshal(struct {
+		Records int                    `json:"records"`
+		Events  map[string]int         `json:"events"`
+		Spans   map[string]summarySpan `json:"spans"`
+	}{s.total, events, spans})
+}
+
+// SummarySink folds every record into a Summary as it streams past.
+type SummarySink struct {
+	Summary
+}
+
+// NewSummarySink creates a summarising sink.
+func NewSummarySink() *SummarySink {
+	return &SummarySink{Summary: *NewSummary()}
+}
+
+// WriteRecord folds the record into the summary.
+func (s *SummarySink) WriteRecord(r *Record) error {
+	s.Add(r)
+	return nil
+}
+
+// Flush is a no-op.
+func (s *SummarySink) Flush() error { return nil }
