@@ -53,6 +53,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"dvc"
 	"dvc/internal/obs"
@@ -82,6 +83,10 @@ func run() int {
 		sampleN  = flag.Uint64("sample-every", 0, "record every Nth instant/counter record (seq%N==0); spans always pass")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		dcs      = flag.Int("dc", 0, "scale mode: generate this many datacenters (enables -cluster/-host/-vm)")
+		clusters = flag.Int("cluster", 10, "scale mode: clusters per datacenter")
+		hosts    = flag.Int("host", 26, "scale mode: hosts per cluster")
+		vms      = flag.Int("vm", 8, "scale mode: virtual-cluster width of the reference job")
 	)
 	flag.Parse()
 
@@ -192,6 +197,11 @@ func run() int {
 			panic(r)
 		}
 	}()
+
+	if *dcs > 0 {
+		spec := dvc.ScaleSpec{DCs: *dcs, ClustersPerDC: *clusters, HostsPerCluster: *hosts, VMs: *vms}
+		return runScaleMode(spec, *seed, tracer, closers)
+	}
 
 	var results []*dvc.ExperimentResult
 	if *exp == "all" {
@@ -306,6 +316,51 @@ func writeReport(dir, exp string, seed int64, trials int, full bool, parallel in
 
 // dumpFlight writes the flight recorder's retained window, if one is
 // armed and has records.
+// runScaleMode generates a -dc/-cluster/-host topology, drives the
+// reference LSC workload over it end-to-end, and prints throughput
+// figures. Exit status is non-zero if the checkpoint or the job failed.
+func runScaleMode(spec dvc.ScaleSpec, seed int64, tracer *dvc.Tracer, closers []*os.File) int {
+	start := time.Now()
+	res, err := dvc.RunScale(seed, spec, tracer)
+	if err != nil {
+		return fail(err)
+	}
+	wall := time.Since(start)
+
+	// The inventory is one line per cluster; summarize past 20 clusters.
+	lines := strings.Split(strings.TrimRight(res.Inventory, "\n"), "\n")
+	const invHead = 4 // topology + leaf/spine/wan profile lines
+	if len(lines) > invHead+20 {
+		fmt.Println(strings.Join(lines[:invHead+20], "\n"))
+		fmt.Printf("... (%d more clusters)\n", len(lines)-invHead-20)
+	} else {
+		fmt.Println(strings.Join(lines, "\n"))
+	}
+	fmt.Printf("scale: nodes=%d clusters=%d vms=%d sim=%v\n", res.Nodes, res.Clusters, res.VMs, res.SimTime)
+	fmt.Printf("scale: events=%d wall=%v ns/event=%.0f events/s=%.0f\n",
+		res.Events, wall.Round(time.Millisecond),
+		float64(wall.Nanoseconds())/float64(res.Events),
+		float64(res.Events)/wall.Seconds())
+	fmt.Printf("scale: checkpoint=%v job=%v skew=%.2fms\n", res.CheckpointOK, res.JobOK, res.SaveSkew.Seconds()*1000)
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("dvcsim: %d trace events recorded\n", tracer.Len())
+	}
+	for _, f := range closers {
+		if err := f.Close(); err != nil {
+			return fail(err)
+		}
+	}
+	if !res.OK() {
+		fmt.Fprintln(os.Stderr, "dvcsim: scale run failed")
+		return 1
+	}
+	return 0
+}
+
 func dumpFlight(flight *obs.FlightSink, path string) {
 	if flight == nil || flight.Retained() == 0 {
 		return

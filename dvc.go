@@ -435,6 +435,18 @@ func ExperimentIDs() []string { return experiments.IDs() }
 // ExperimentTitle returns an experiment's one-line description.
 func ExperimentTitle(id string) string { return experiments.Title(id) }
 
+// ScaleSpec sizes a generated topology run (dvcsim -dc/-cluster/-host/-vm).
+type ScaleSpec = experiments.ScaleSpec
+
+// ScaleResult reports a generated-topology run.
+type ScaleResult = experiments.ScaleResult
+
+// RunScale generates a datacenter/cluster/host topology and drives the
+// reference LSC workload over it end-to-end (tr may be nil).
+func RunScale(seed int64, spec ScaleSpec, tr *Tracer) (*ScaleResult, error) {
+	return experiments.RunScale(seed, spec, tr)
+}
+
 // WriteBanner prints the library banner used by the command-line tools.
 func WriteBanner(w io.Writer) {
 	fmt.Fprintln(w, "dvc: Dynamic Virtual Clustering reproduction (Emeneker & Stanzione, 2007)")

@@ -109,7 +109,7 @@ func TestCrashRecoveryFlow(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 { // E1-E15 plus ablations A1-A2
+	if len(ids) != 18 { // E1-E15, ablations A1-A2, SCALE
 		t.Fatalf("got %d experiments", len(ids))
 	}
 	if ExperimentTitle("E1") == "" {

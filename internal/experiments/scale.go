@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dvc/internal/core"
+	"dvc/internal/hpcc"
+	"dvc/internal/metrics"
+	"dvc/internal/mpi"
+	"dvc/internal/obs"
+	"dvc/internal/phys"
+	"dvc/internal/sim"
+	"dvc/internal/storage"
+	"dvc/internal/vm"
+)
+
+func init() {
+	register("SCALE", "Substrate scale: E2-shaped workload on generated multi-DC topologies", runScaleExp)
+}
+
+// ScaleSpec sizes one scale run: a generated topology (phys.BuildTopo)
+// plus the width of the E2-shaped job placed on it.
+type ScaleSpec struct {
+	DCs             int
+	ClustersPerDC   int
+	HostsPerCluster int
+	// VMs is the virtual-cluster width (0 = 8, the E2 bench shape). The
+	// job is deliberately fixed-size while the substrate grows: flat
+	// ns/event across ScaleSpecs is the evidence that idle substrate is
+	// (nearly) free.
+	VMs int
+}
+
+// Nodes is the generated node count.
+func (s ScaleSpec) Nodes() int { return s.DCs * s.ClustersPerDC * s.HostsPerCluster }
+
+// Topo is the phys topology portion of the spec.
+func (s ScaleSpec) Topo() phys.TopoSpec {
+	return phys.TopoSpec{DCs: s.DCs, ClustersPerDC: s.ClustersPerDC, HostsPerCluster: s.HostsPerCluster}
+}
+
+func (s ScaleSpec) String() string {
+	return fmt.Sprintf("%dx%dx%d", s.DCs, s.ClustersPerDC, s.HostsPerCluster)
+}
+
+// ScaleResult reports one scale run.
+type ScaleResult struct {
+	Spec      ScaleSpec
+	Nodes     int
+	Clusters  int
+	VMs       int
+	Inventory string
+	// Events is the total kernel events fired by the run — the
+	// denominator for wall-clock ns/event (the caller times the run;
+	// simulation code never reads the wall clock).
+	Events       uint64
+	CheckpointOK bool
+	JobOK        bool
+	SaveSkew     sim.Time
+	SimTime      sim.Time
+}
+
+// OK reports whether the checkpoint and the job both succeeded.
+func (r *ScaleResult) OK() bool { return r.CheckpointOK && r.JobOK }
+
+// RunScale generates the topology and drives the E2-shaped workload over
+// it end-to-end: boot a fixed-width VC, run a halo-exchange MPI job,
+// checkpoint once mid-run, restore-verify implicitly by running the job
+// to completion. Same seed + same spec is byte-identical (trace it to
+// prove it); tr may be nil.
+func RunScale(seed int64, spec ScaleSpec, tr *obs.Tracer) (*ScaleResult, error) {
+	vms := spec.VMs
+	if vms == 0 {
+		vms = 8
+	}
+	k := sim.NewKernel(seed)
+	site := phys.DefaultSite(k)
+	topo, err := phys.BuildTopo(site, spec.Topo())
+	if err != nil {
+		return nil, err
+	}
+	site.NTP.Start()
+	store := storage.New(k, storage.DefaultConfig())
+	mgr := core.NewManager(k, site, store, vm.DefaultXenConfig())
+	if tr != nil {
+		mgr.SetTracer(tr)
+		obs.StartKernelProbe(k, tr, probeInterval)
+	}
+	co := core.NewCoordinator(mgr, core.DefaultNTPLSC())
+	b := &bed{k: k, site: site, store: store, mgr: mgr, co: co}
+
+	vc, err := mgr.Allocate(core.VCSpec{Name: "scale", Nodes: vms, VMRAM: vmRAM}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scale allocation on %s failed: %w", spec, err)
+	}
+	k.RunFor(vm.DefaultXenConfig().BootTime + sim.Second)
+	if vc.State() != core.VCReady {
+		return nil, fmt.Errorf("experiments: scale VC not ready on %s", spec)
+	}
+	if _, err := vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(600, 20*sim.Millisecond, 4096) }); err != nil {
+		return nil, err
+	}
+	k.RunFor(2 * sim.Second)
+	ckpt := b.checkpointOnce(vc, 10*sim.Minute)
+	js := b.runJob(vc, 4*sim.Hour)
+
+	res := &ScaleResult{
+		Spec:      spec,
+		Nodes:     spec.Nodes(),
+		Clusters:  len(topo.Clusters),
+		VMs:       vms,
+		Inventory: topo.Inventory(),
+		Events:    k.Fired(),
+		JobOK:     js.AllOK(),
+		SimTime:   k.Now(),
+	}
+	if ckpt != nil && ckpt.OK {
+		res.CheckpointOK = core.InspectImages(ckpt.Images) == nil
+		res.SaveSkew = ckpt.SaveSkew
+	}
+	return res, nil
+}
+
+// runScaleExp is the registry wrapper: the 26- and 260-node shapes by
+// default, plus the 2600-node (10 DC x 10 cluster x 26 host) shape with
+// -full. The job stays 8 wide throughout; the checks assert the substrate
+// scales without disturbing the workload.
+func runScaleExp(opts Options) *Result {
+	res := &Result{}
+	shapes := []ScaleSpec{
+		{DCs: 1, ClustersPerDC: 1, HostsPerCluster: 26},
+		{DCs: 1, ClustersPerDC: 10, HostsPerCluster: 26},
+	}
+	if opts.Full {
+		shapes = append(shapes, ScaleSpec{DCs: 10, ClustersPerDC: 10, HostsPerCluster: 26})
+	}
+	tbl := metrics.NewTable("SCALE: fixed 8-VM LSC job on growing substrate",
+		"topology", "nodes", "clusters", "events", "skew.ms", "ckpt", "job")
+	for _, sp := range shapes {
+		r, err := RunScale(opts.Seed, sp, opts.Tracer)
+		if err != nil {
+			res.check(fmt.Sprintf("%s runs", sp), false, "%v", err)
+			continue
+		}
+		tbl.Row(sp.String(), r.Nodes, r.Clusters, r.Events,
+			fmt.Sprintf("%.2f", r.SaveSkew.Seconds()*1000), r.CheckpointOK, r.JobOK)
+		res.check(fmt.Sprintf("%s save+restore transparent", sp), r.OK(),
+			"ckpt=%v job=%v at %d nodes", r.CheckpointOK, r.JobOK, r.Nodes)
+	}
+	res.table(tbl, opts.out())
+	return res
+}

@@ -7,6 +7,13 @@
 // experiments depend on is (a) realistic message timing for MPI overhead
 // shapes and (b) the ability to lose packets on the wire, which is the
 // whole premise of the paper's consistent-cut argument (Figure 2).
+//
+// The fabric is sized for thousands of ports: cluster names and port
+// addresses are interned to dense int32 indices at attach/registration
+// time, so the per-packet path resolves profiles and port state through
+// flat arrays — the string-keyed maps are consulted only where the public
+// string API enters (Send's src/dst resolution and the control-plane
+// calls), never per hop inside it.
 package netsim
 
 import (
@@ -61,6 +68,19 @@ func InterClusterWAN() LinkProfile {
 	return LinkProfile{Latency: 350 * sim.Microsecond, Bandwidth: 117e6, LossProb: 1e-6}
 }
 
+// FatTreeSpine is the upper tier of a generated fat-tree fabric: traffic
+// between two clusters (edge switches) of the same datacenter crosses two
+// extra switch hops at full bisection bandwidth.
+func FatTreeSpine() LinkProfile {
+	return LinkProfile{Latency: 165 * sim.Microsecond, Bandwidth: 117e6, LossProb: 1e-6}
+}
+
+// MultiDatacenterWAN is the default link between datacenters (zones) of a
+// generated topology: millisecond-class latency, sub-LAN bandwidth.
+func MultiDatacenterWAN() LinkProfile {
+	return LinkProfile{Latency: 2500 * sim.Microsecond, Bandwidth: 100e6, LossProb: 1e-6}
+}
+
 // Stats counts fabric activity. Sent and Bytes count only packets that
 // actually transmit (pass the sender-up, drop-rule, destination and loss
 // checks and consume NIC/wire time); packets refused before transmission
@@ -77,67 +97,101 @@ type Stats struct {
 	BytesDropped  uint64 // payload bytes of packets refused before transmit
 }
 
-// Port is one attachment point. A port whose Up flag is false silently
-// discards traffic — this is how a paused VM "loses packets on the wire".
+// Port is one attachment point: a handle carrying its dense fabric id.
+// Liveness (up) and NIC serialisation state (busyUntil) live in the
+// fabric's struct-of-arrays tables indexed by that id. A port whose Up
+// flag is false silently discards traffic — this is how a paused VM
+// "loses packets on the wire".
 type Port struct {
 	fabric  *Fabric
+	id      int32 // dense fabric index; -1 once detached
 	addr    Addr
-	cluster string
+	cluster int32 // interned cluster index
 	handler Handler
-	up      bool
 
 	// ExtraLatency and BandwidthFactor model para-virtualised I/O: Xen's
 	// split-driver network path adds latency and costs bandwidth. The vm
 	// package sets these on guest ports.
 	ExtraLatency    sim.Time
 	BandwidthFactor float64 // multiplies effective bandwidth; 0 means 1.0
-
-	// busyUntil models NIC transmit serialisation: packets from one port
-	// leave the wire back to back, never overlapping. This both enforces
-	// the bandwidth limit for multi-segment sends and keeps same-path
-	// packets in order.
-	busyUntil sim.Time
 }
 
 // Addr returns the port's address.
 func (p *Port) Addr() Addr { return p.addr }
 
 // Cluster returns the cluster the port is currently attached to.
-func (p *Port) Cluster() string { return p.cluster }
+func (p *Port) Cluster() string { return p.fabric.clusterName[p.cluster] }
 
 // Up reports whether the port is accepting traffic.
-func (p *Port) Up() bool { return p.up }
+//
+//dvc:hotpath
+func (p *Port) Up() bool { return p.id >= 0 && p.fabric.up[p.id] }
 
-// SetUp raises or lowers the port.
-func (p *Port) SetUp(up bool) { p.up = up }
+// SetUp raises or lowers the port. A detached port stays down.
+func (p *Port) SetUp(up bool) {
+	if p.id >= 0 {
+		p.fabric.up[p.id] = up
+	}
+}
 
 // SetHandler replaces the delivery callback.
 func (p *Port) SetHandler(h Handler) { p.handler = h }
 
-// Move reattaches the port to another cluster, keeping its address.
+// Move reattaches the port to another cluster, keeping its address. The
+// cluster is resolved to its interned index once here, so subsequent
+// sends pay no name lookup.
 func (p *Port) Move(cluster string) error {
-	if _, ok := p.fabric.clusters[cluster]; !ok {
+	ci, ok := p.fabric.clusterIdx[cluster]
+	if !ok {
 		return fmt.Errorf("netsim: unknown cluster %q", cluster)
 	}
-	p.cluster = cluster
+	p.cluster = ci
 	return nil
 }
 
-// Detach removes the port from the fabric.
+// Detach removes the port from the fabric. The dense id returns to the
+// free list; the stale handle is inert (down, never delivered to).
 func (p *Port) Detach() {
-	delete(p.fabric.ports, p.addr)
-	p.up = false
+	f := p.fabric
+	if p.id < 0 || f.byID[p.id] != p {
+		return
+	}
+	delete(f.addrID, p.addr)
+	f.byID[p.id] = nil
+	f.up[p.id] = false
+	f.busy[p.id] = 0
+	f.freeIDs = append(f.freeIDs, p.id)
+	p.id = -1
 }
 
 // Fabric is the interconnect. It is built from named clusters, each with
-// a link profile, joined by an inter-cluster profile.
+// a link profile, joined by an inter-cluster profile — and, for generated
+// multi-datacenter topologies, an inter-zone profile between clusters
+// assigned to different zones.
 type Fabric struct {
-	kernel   *sim.Kernel
-	clusters map[string]LinkProfile
-	inter    LinkProfile
-	ports    map[Addr]*Port
-	stats    Stats
-	tracer   *obs.Tracer
+	kernel *sim.Kernel
+
+	// Interned cluster tables, indexed by registration order.
+	clusterIdx  map[string]int32
+	clusterName []string
+	profiles    []LinkProfile
+	zoneOf      []int32
+
+	inter     LinkProfile // cross-cluster, same zone (fat-tree spine)
+	interZone LinkProfile // cross-zone (multi-datacenter WAN)
+
+	// Ports by dense id, with the address map as the string-API entry
+	// point. up and busy are struct-of-arrays port state: the per-packet
+	// path reads/writes flat arrays, not port objects scattered on the
+	// heap.
+	addrID  map[Addr]int32
+	byID    []*Port
+	freeIDs []int32
+	up      []bool
+	busy    []sim.Time // NIC busyUntil per port
+
+	stats  Stats
+	tracer *obs.Tracer
 
 	// freeDeliveries is the pool of in-flight packet records (see
 	// delivery): Send pops one, the arrival event pushes it back.
@@ -148,23 +202,57 @@ type Fabric struct {
 	DropRule func(Packet) bool
 }
 
-// NewFabric creates an empty fabric with the default inter-cluster link.
+// NewFabric creates an empty fabric with the default inter-cluster and
+// inter-zone links.
 func NewFabric(k *sim.Kernel) *Fabric {
 	return &Fabric{
-		kernel:   k,
-		clusters: make(map[string]LinkProfile),
-		inter:    InterClusterWAN(),
-		ports:    make(map[Addr]*Port),
+		kernel:     k,
+		clusterIdx: make(map[string]int32),
+		inter:      InterClusterWAN(),
+		interZone:  MultiDatacenterWAN(),
+		addrID:     make(map[Addr]int32),
 	}
 }
 
 // AddCluster registers a cluster with the given intra-cluster profile.
+// Re-registering an existing name replaces its profile.
 func (f *Fabric) AddCluster(name string, profile LinkProfile) {
-	f.clusters[name] = profile
+	if ci, ok := f.clusterIdx[name]; ok {
+		f.profiles[ci] = profile
+		return
+	}
+	f.clusterIdx[name] = int32(len(f.clusterName))
+	f.clusterName = append(f.clusterName, name)
+	f.profiles = append(f.profiles, profile)
+	f.zoneOf = append(f.zoneOf, 0)
 }
 
-// SetInterCluster replaces the inter-cluster profile.
+// SetInterCluster replaces the same-zone inter-cluster profile.
 func (f *Fabric) SetInterCluster(profile LinkProfile) { f.inter = profile }
+
+// SetInterZone replaces the cross-zone (inter-datacenter) profile. It
+// only matters once clusters are assigned distinct zones.
+func (f *Fabric) SetInterZone(profile LinkProfile) { f.interZone = profile }
+
+// SetClusterZone assigns a cluster to a zone (datacenter). All clusters
+// start in zone 0; packets between clusters of different zones use the
+// inter-zone profile instead of the inter-cluster one.
+func (f *Fabric) SetClusterZone(name string, zone int) error {
+	ci, ok := f.clusterIdx[name]
+	if !ok {
+		return fmt.Errorf("netsim: unknown cluster %q", name)
+	}
+	f.zoneOf[ci] = int32(zone)
+	return nil
+}
+
+// ClusterZone reports the zone a cluster is assigned to.
+func (f *Fabric) ClusterZone(name string) int {
+	if ci, ok := f.clusterIdx[name]; ok {
+		return int(f.zoneOf[ci])
+	}
+	return 0
+}
 
 // Stats returns a snapshot of the fabric counters.
 func (f *Fabric) Stats() Stats { return f.stats }
@@ -189,27 +277,50 @@ func (f *Fabric) traceDrop(pkt Packet, reason string) {
 // Attach creates an up port at addr in cluster. Attaching an address twice
 // panics: addresses are identities.
 func (f *Fabric) Attach(addr Addr, cluster string, h Handler) *Port {
-	if _, ok := f.clusters[cluster]; !ok {
+	ci, ok := f.clusterIdx[cluster]
+	if !ok {
 		panic(fmt.Sprintf("netsim: attach to unknown cluster %q", cluster))
 	}
-	if _, dup := f.ports[addr]; dup {
+	if _, dup := f.addrID[addr]; dup {
 		panic(fmt.Sprintf("netsim: duplicate attach of %q", addr))
 	}
-	p := &Port{fabric: f, addr: addr, cluster: cluster, handler: h, up: true}
-	f.ports[addr] = p
+	p := &Port{fabric: f, addr: addr, cluster: ci, handler: h}
+	if n := len(f.freeIDs); n > 0 {
+		p.id = f.freeIDs[n-1]
+		f.freeIDs = f.freeIDs[:n-1]
+		f.byID[p.id] = p
+	} else {
+		p.id = int32(len(f.byID))
+		f.byID = append(f.byID, p)
+		f.up = append(f.up, false)
+		f.busy = append(f.busy, 0)
+	}
+	f.up[p.id] = true
+	f.busy[p.id] = 0
+	f.addrID[addr] = p.id
 	return p
 }
 
 // Lookup returns the port for addr, if attached.
 func (f *Fabric) Lookup(addr Addr) (*Port, bool) {
-	p, ok := f.ports[addr]
-	return p, ok
+	id, ok := f.addrID[addr]
+	if !ok {
+		return nil, false
+	}
+	return f.byID[id], true
 }
 
-// profileFor picks the link profile governing a src→dst packet.
-func (f *Fabric) profileFor(src, dst *Port) LinkProfile {
-	if src.cluster == dst.cluster {
-		return f.clusters[src.cluster]
+// profileBetween picks the link profile governing traffic between two
+// interned cluster indices: intra-cluster, same-zone spine, or cross-zone
+// WAN. Pure array reads — no map hits on the per-packet path.
+//
+//dvc:hotpath
+func (f *Fabric) profileBetween(a, b int32) LinkProfile {
+	if a == b {
+		return f.profiles[a]
+	}
+	if f.zoneOf[a] != f.zoneOf[b] {
+		return f.interZone
 	}
 	return f.inter
 }
@@ -218,11 +329,11 @@ func (f *Fabric) profileFor(src, dst *Port) LinkProfile {
 // attached addresses (bytes/s), including per-port factors. Bulk flows
 // (image copies, migrations) use this instead of per-packet simulation.
 func (f *Fabric) PathBandwidth(src, dst Addr) (float64, error) {
-	ps, ok := f.ports[src]
+	ps, ok := f.Lookup(src)
 	if !ok {
 		return 0, fmt.Errorf("netsim: source %q not attached", src)
 	}
-	pd, ok := f.ports[dst]
+	pd, ok := f.Lookup(dst)
 	if !ok {
 		return 0, fmt.Errorf("netsim: destination %q not attached", dst)
 	}
@@ -232,11 +343,16 @@ func (f *Fabric) PathBandwidth(src, dst Addr) (float64, error) {
 // ClusterBandwidth reports the raw profile bandwidth between two clusters
 // (the same cluster gives the intra-cluster profile).
 func (f *Fabric) ClusterBandwidth(a, b string) float64 {
+	ca, okA := f.clusterIdx[a]
 	if a == b {
-		if prof, ok := f.clusters[a]; ok {
-			return prof.Bandwidth
+		if !okA {
+			return 0
 		}
-		return 0
+		return f.profiles[ca].Bandwidth
+	}
+	cb, okB := f.clusterIdx[b]
+	if okA && okB {
+		return f.profileBetween(ca, cb).Bandwidth
 	}
 	return f.inter.Bandwidth
 }
@@ -244,11 +360,11 @@ func (f *Fabric) ClusterBandwidth(a, b string) float64 {
 // Delay computes the one-way delay for a packet of size bytes between two
 // attached addresses, including para-virt port overheads.
 func (f *Fabric) Delay(src, dst Addr, size int) (sim.Time, error) {
-	ps, ok := f.ports[src]
+	ps, ok := f.Lookup(src)
 	if !ok {
 		return 0, fmt.Errorf("netsim: source %q not attached", src)
 	}
-	pd, ok := f.ports[dst]
+	pd, ok := f.Lookup(dst)
 	if !ok {
 		return 0, fmt.Errorf("netsim: destination %q not attached", dst)
 	}
@@ -256,7 +372,7 @@ func (f *Fabric) Delay(src, dst Addr, size int) (sim.Time, error) {
 }
 
 func (f *Fabric) delay(src, dst *Port, size int) sim.Time {
-	prof := f.profileFor(src, dst)
+	prof := f.profileBetween(src.cluster, dst.cluster)
 	d := prof.Latency + src.ExtraLatency + dst.ExtraLatency
 	if size > 0 {
 		if bw := f.effectiveBandwidth(src, dst); bw > 0 {
@@ -266,12 +382,14 @@ func (f *Fabric) delay(src, dst *Port, size int) sim.Time {
 	return d
 }
 
+//dvc:hotpath
 func (f *Fabric) effectiveBandwidth(src, dst *Port) float64 {
-	bw := f.profileFor(src, dst).Bandwidth
-	for _, factor := range []float64{src.BandwidthFactor, dst.BandwidthFactor} {
-		if factor > 0 {
-			bw *= factor
-		}
+	bw := f.profileBetween(src.cluster, dst.cluster).Bandwidth
+	if src.BandwidthFactor > 0 {
+		bw *= src.BandwidthFactor
+	}
+	if dst.BandwidthFactor > 0 {
+		bw *= dst.BandwidthFactor
 	}
 	return bw
 }
@@ -290,10 +408,14 @@ func (f *Fabric) effectiveBandwidth(src, dst *Port) float64 {
 // loses the packet — "packets to a saved VM are lost on the wire" — but
 // that loss is delivery-side: the bytes were genuinely transmitted.
 //
+// The two address-map hits here are the only string lookups per packet;
+// everything downstream (profiles, NIC state, the delivery leg) runs on
+// interned indices.
+//
 //dvc:hotpath
 func (f *Fabric) Send(pkt Packet) {
-	src, ok := f.ports[pkt.Src]
-	if !ok || !src.up {
+	sid, ok := f.addrID[pkt.Src]
+	if !ok || !f.up[sid] {
 		// A down/detached sender cannot transmit at all.
 		f.stats.DroppedDown++
 		f.stats.BytesDropped += uint64(pkt.Size)
@@ -306,14 +428,15 @@ func (f *Fabric) Send(pkt Packet) {
 		f.traceDrop(pkt, "rule")
 		return
 	}
-	dst, ok := f.ports[pkt.Dst]
+	did, ok := f.addrID[pkt.Dst]
 	if !ok {
 		f.stats.DroppedNoDest++
 		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "no-dest")
 		return
 	}
-	prof := f.profileFor(src, dst)
+	src, dst := f.byID[sid], f.byID[did]
+	prof := f.profileBetween(src.cluster, dst.cluster)
 	if prof.LossProb > 0 && f.kernel.Rand().Float64() < prof.LossProb {
 		f.stats.DroppedLoss++
 		f.stats.BytesDropped += uint64(pkt.Size)
@@ -331,24 +454,29 @@ func (f *Fabric) Send(pkt Packet) {
 		}
 	}
 	start := f.kernel.Now()
-	if src.busyUntil > start {
-		start = src.busyUntil
+	if f.busy[sid] > start {
+		start = f.busy[sid]
 	}
 	depart := start + txTime
-	src.busyUntil = depart
+	f.busy[sid] = depart
 	arrive := depart + prof.Latency + src.ExtraLatency + dst.ExtraLatency
 	rec := f.getDelivery()
 	rec.pkt = pkt
+	rec.dst = did
 	f.kernel.At(arrive, rec.run)
 }
 
 // delivery is one pooled in-flight packet record. run is bound to the
 // record once, at pool-entry creation; scheduling a delivery stores that
 // same func value in the kernel's event slab, so neither the fabric nor
-// the kernel allocates per packet once the pool is warm.
+// the kernel allocates per packet once the pool is warm. dst carries the
+// destination's dense id resolved at send time, so the arrival leg is an
+// array read; the address map is only re-consulted if the slot changed
+// hands mid-flight.
 type delivery struct {
 	f    *Fabric
 	pkt  Packet
+	dst  int32
 	next *delivery // free-list link
 	run  func()
 }
@@ -375,18 +503,25 @@ func (f *Fabric) getDelivery() *delivery {
 //
 //dvc:hotpath
 func (rec *delivery) deliver() {
-	f, pkt := rec.f, rec.pkt
+	f, pkt, did := rec.f, rec.pkt, rec.dst
 	rec.pkt = Packet{} // drop payload reference for the GC
 	rec.next = f.freeDeliveries
 	f.freeDeliveries = rec
 
-	p, ok := f.ports[pkt.Dst]
-	if !ok {
-		f.stats.DroppedNoDest++
-		f.traceDrop(pkt, "dest-detached")
-		return
+	p := f.byID[did]
+	if p == nil || p.addr != pkt.Dst {
+		// The id was freed (and possibly reused) mid-flight: fall back to
+		// the address map in case the destination re-attached under a new
+		// id. Same semantics as resolving by address at arrival time.
+		id, ok := f.addrID[pkt.Dst]
+		if !ok {
+			f.stats.DroppedNoDest++
+			f.traceDrop(pkt, "dest-detached")
+			return
+		}
+		did, p = id, f.byID[id]
 	}
-	if !p.up || p.handler == nil {
+	if !f.up[did] || p.handler == nil {
 		f.stats.DroppedDown++
 		f.traceDrop(pkt, "dest-down")
 		return

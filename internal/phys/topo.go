@@ -1,0 +1,122 @@
+package phys
+
+import (
+	"fmt"
+	"strings"
+
+	"dvc/internal/netsim"
+)
+
+// TopoSpec sizes a generated topology the way vcsim sizes a vCenter
+// inventory: datacenters compose clusters compose hosts
+// (dvcsim -dc/-cluster/-host). Each datacenter is a fabric zone; its
+// clusters hang off a fat-tree spine, and datacenters join over a WAN
+// profile — the two or three orders of magnitude beyond the paper's 26
+// nodes that cluster-scale simulation needs.
+type TopoSpec struct {
+	// DCs is the number of datacenters (fabric zones). Minimum 1.
+	DCs int
+	// ClustersPerDC is the number of clusters per datacenter. Minimum 1.
+	ClustersPerDC int
+	// HostsPerCluster is the number of nodes per cluster. Minimum 1.
+	HostsPerCluster int
+
+	// Spec is the hardware of every generated node (zero value =
+	// DefaultSpec). One interned record serves the whole topology.
+	Spec Spec
+
+	// Leaf is the intra-cluster link profile (nil = gigabit Ethernet).
+	Leaf *netsim.LinkProfile
+	// Spine joins clusters of the same datacenter (nil = FatTreeSpine).
+	Spine *netsim.LinkProfile
+	// WAN joins datacenters (nil = MultiDatacenterWAN).
+	WAN *netsim.LinkProfile
+}
+
+// Nodes returns the total node count the spec generates.
+func (t TopoSpec) Nodes() int { return t.DCs * t.ClustersPerDC * t.HostsPerCluster }
+
+// normalize fills defaults and validates counts.
+func (t TopoSpec) normalize() (TopoSpec, error) {
+	if t.DCs <= 0 || t.ClustersPerDC <= 0 || t.HostsPerCluster <= 0 {
+		return t, fmt.Errorf("phys: topology needs dc, cluster and host counts >= 1 (got %d/%d/%d)",
+			t.DCs, t.ClustersPerDC, t.HostsPerCluster)
+	}
+	if (t.Spec == Spec{}) {
+		t.Spec = DefaultSpec()
+	}
+	if t.Leaf == nil {
+		p := netsim.EthernetGigE()
+		t.Leaf = &p
+	}
+	if t.Spine == nil {
+		p := netsim.FatTreeSpine()
+		t.Spine = &p
+	}
+	if t.WAN == nil {
+		p := netsim.MultiDatacenterWAN()
+		t.WAN = &p
+	}
+	return t, nil
+}
+
+// Topology records what BuildTopo generated.
+type Topology struct {
+	Spec TopoSpec
+	// Clusters holds generated cluster names in creation order
+	// ("dc00-c00", "dc00-c01", ...). Node IDs follow the AddCluster
+	// convention: "<cluster>-nNN".
+	Clusters []string
+}
+
+// ClusterName returns the canonical generated name of cluster c in
+// datacenter d.
+func ClusterName(d, c int) string { return fmt.Sprintf("dc%02d-c%02d", d, c) }
+
+// BuildTopo generates the spec's inventory into the site: one cluster per
+// (datacenter, cluster) pair, every cluster zoned to its datacenter, and
+// the fabric's spine/WAN profiles installed. Creation order is
+// deterministic (datacenter-major), so same spec + same kernel seed means
+// an identical inventory and identical downstream RNG draws.
+func BuildTopo(site *Site, spec TopoSpec) (*Topology, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	site.Fabric.SetInterCluster(*spec.Spine)
+	site.Fabric.SetInterZone(*spec.WAN)
+	topo := &Topology{Spec: spec, Clusters: make([]string, 0, spec.DCs*spec.ClustersPerDC)}
+	for d := 0; d < spec.DCs; d++ {
+		for c := 0; c < spec.ClustersPerDC; c++ {
+			name := ClusterName(d, c)
+			site.AddCluster(name, spec.HostsPerCluster, spec.Spec, *spec.Leaf)
+			if err := site.Fabric.SetClusterZone(name, d); err != nil {
+				return nil, err
+			}
+			topo.Clusters = append(topo.Clusters, name)
+		}
+	}
+	return topo, nil
+}
+
+// Inventory renders the generated topology as a deterministic multi-line
+// listing (one line per cluster plus profile lines) — the property tests
+// hash it, and dvcsim prints it for humans.
+func (t *Topology) Inventory() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology dc=%d cluster=%d host=%d nodes=%d\n",
+		t.Spec.DCs, t.Spec.ClustersPerDC, t.Spec.HostsPerCluster, t.Spec.Nodes())
+	fmt.Fprintf(&b, "leaf  %s\nspine %s\nwan   %s\n",
+		profileString(*t.Spec.Leaf), profileString(*t.Spec.Spine), profileString(*t.Spec.WAN))
+	for i, name := range t.Clusters {
+		zone := i / t.Spec.ClustersPerDC
+		fmt.Fprintf(&b, "cluster %s zone=%d hosts=%d ids=%s-n00..%s-n%02d\n",
+			name, zone, t.Spec.HostsPerCluster, name, name, t.Spec.HostsPerCluster-1)
+	}
+	return b.String()
+}
+
+// profileString formats a link profile for the inventory listing.
+func profileString(p netsim.LinkProfile) string {
+	return fmt.Sprintf("{lat=%v bw=%.0fB/s loss=%g}", p.Latency, p.Bandwidth, p.LossProb)
+}

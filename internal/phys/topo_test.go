@@ -1,0 +1,138 @@
+package phys
+
+import (
+	"strings"
+	"testing"
+
+	"dvc/internal/netsim"
+	"dvc/internal/sim"
+)
+
+func buildTestTopo(t *testing.T, seed int64, spec TopoSpec) (*Site, *Topology) {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	s := DefaultSite(k)
+	topo, err := BuildTopo(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, topo
+}
+
+func TestBuildTopoInventory(t *testing.T) {
+	spec := TopoSpec{DCs: 2, ClustersPerDC: 3, HostsPerCluster: 5}
+	s, topo := buildTestTopo(t, 1, spec)
+	if got := s.NodeCount(); got != 30 {
+		t.Fatalf("NodeCount = %d, want 30", got)
+	}
+	if len(topo.Clusters) != 6 || topo.Clusters[0] != "dc00-c00" || topo.Clusters[5] != "dc01-c02" {
+		t.Fatalf("cluster names %v", topo.Clusters)
+	}
+	if _, ok := s.Node("dc01-c02-n04"); !ok {
+		t.Fatal("last generated node missing")
+	}
+	// Zones follow datacenters.
+	if z := s.Fabric.ClusterZone("dc00-c01"); z != 0 {
+		t.Fatalf("dc00-c01 zone = %d, want 0", z)
+	}
+	if z := s.Fabric.ClusterZone("dc01-c00"); z != 1 {
+		t.Fatalf("dc01-c00 zone = %d, want 1", z)
+	}
+	inv := topo.Inventory()
+	if !strings.Contains(inv, "cluster dc01-c02 zone=1 hosts=5") {
+		t.Fatalf("inventory missing cluster line:\n%s", inv)
+	}
+}
+
+// TestBuildTopoDeterministic is the generator's determinism property:
+// same spec + same seed must produce an identical inventory — names,
+// order, zones, profiles — and identical node listings.
+func TestBuildTopoDeterministic(t *testing.T) {
+	spec := TopoSpec{DCs: 2, ClustersPerDC: 3, HostsPerCluster: 7}
+	s1, topo1 := buildTestTopo(t, 42, spec)
+	s2, topo2 := buildTestTopo(t, 42, spec)
+	if topo1.Inventory() != topo2.Inventory() {
+		t.Fatalf("inventories diverge:\n%s\nvs\n%s", topo1.Inventory(), topo2.Inventory())
+	}
+	n1, n2 := s1.Nodes(), s2.Nodes()
+	if len(n1) != len(n2) {
+		t.Fatalf("node counts diverge: %d vs %d", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i].ID() != n2[i].ID() || n1[i].Cluster() != n2[i].Cluster() {
+			t.Fatalf("node %d diverges: %s/%s vs %s/%s",
+				i, n1[i].ID(), n1[i].Cluster(), n2[i].ID(), n2[i].Cluster())
+		}
+	}
+	// The per-node clocks draw from the kernel RNG in creation order, so
+	// identical builds leave identical clock errors behind.
+	for i := range n1 {
+		if n1[i].Clock().Error() != n2[i].Clock().Error() {
+			t.Fatalf("clock error diverges at node %d", i)
+		}
+	}
+}
+
+// TestTopoLinkTiers pins the three-tier profile selection: intra-cluster
+// beats same-DC cross-cluster beats cross-DC.
+func TestTopoLinkTiers(t *testing.T) {
+	spec := TopoSpec{DCs: 2, ClustersPerDC: 2, HostsPerCluster: 1}
+	s, _ := buildTestTopo(t, 7, spec)
+	f := s.Fabric
+	f.Attach("intra-a", "dc00-c00", nil)
+	f.Attach("intra-b", "dc00-c00", nil)
+	f.Attach("spine-b", "dc00-c01", nil)
+	f.Attach("wan-b", "dc01-c00", nil)
+
+	intra, err := f.Delay("intra-a", "intra-b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine, err := f.Delay("intra-a", "spine-b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wan, err := f.Delay("intra-a", "wan-b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(intra < spine && spine < wan) {
+		t.Fatalf("latency tiers out of order: intra=%v spine=%v wan=%v", intra, spine, wan)
+	}
+	if intra != netsim.EthernetGigE().Latency {
+		t.Fatalf("intra latency %v, want leaf profile %v", intra, netsim.EthernetGigE().Latency)
+	}
+	if spine != netsim.FatTreeSpine().Latency {
+		t.Fatalf("spine latency %v, want %v", spine, netsim.FatTreeSpine().Latency)
+	}
+	if wan != netsim.MultiDatacenterWAN().Latency {
+		t.Fatalf("wan latency %v, want %v", wan, netsim.MultiDatacenterWAN().Latency)
+	}
+}
+
+func TestBuildTopoRejectsBadCounts(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := DefaultSite(k)
+	if _, err := BuildTopo(s, TopoSpec{DCs: 1, ClustersPerDC: 0, HostsPerCluster: 3}); err == nil {
+		t.Fatal("zero cluster count accepted")
+	}
+}
+
+func TestSpecInterning(t *testing.T) {
+	k := sim.NewKernel(1)
+	s := DefaultSite(k)
+	s.AddCluster("a", 50, DefaultSpec(), netsim.EthernetGigE())
+	s.AddCluster("b", 50, DefaultSpec(), netsim.EthernetGigE())
+	big := DefaultSpec()
+	big.RAMBytes *= 2
+	s.AddCluster("c", 50, big, netsim.EthernetGigE())
+	if got := len(s.specs); got != 2 {
+		t.Fatalf("interned %d specs for 150 nodes of 2 hardware classes, want 2", got)
+	}
+	if s.Cluster("b")[0].Spec() != DefaultSpec() {
+		t.Fatal("shared spec does not round-trip")
+	}
+	if s.Cluster("c")[0].Spec() != big {
+		t.Fatal("second spec does not round-trip")
+	}
+}

@@ -50,16 +50,20 @@ func TestChaosMonkey(t *testing.T) {
 			deadline := 24 * sim.Hour
 			for b.k.Now() < deadline && !b.rm.AllDone() {
 				b.k.RunFor(30 * sim.Second)
-				// Invariant: claims map is consistent with running jobs.
-				for id, j := range b.rm.claimed {
+				// Invariant: claim table is consistent with running jobs.
+				for idx, j := range b.rm.claimedBy {
+					if j == nil {
+						continue
+					}
 					found := false
 					for _, n := range j.nodes {
-						if n.ID() == id {
+						if n.Index() == idx {
 							found = true
 						}
 					}
 					if !found {
-						t.Fatalf("claim map references node %s not in job %s's placement", id, j.Spec.ID)
+						t.Fatalf("claim table references node %s not in job %s's placement",
+							b.site.NodeAt(idx).ID(), j.Spec.ID)
 					}
 				}
 			}
@@ -78,8 +82,11 @@ func TestChaosMonkey(t *testing.T) {
 				t.Fatalf("job ledger has %d entries", len(b.rm.Jobs()))
 			}
 			// Every node claim was released.
-			if len(b.rm.claimed) != 0 {
-				t.Fatalf("%d nodes still claimed after completion", len(b.rm.claimed))
+			for idx, j := range b.rm.claimedBy {
+				if j != nil {
+					t.Fatalf("node %s still claimed by %s after completion",
+						b.site.NodeAt(idx).ID(), j.Spec.ID)
+				}
 			}
 		})
 	}

@@ -148,9 +148,25 @@ type RM struct {
 	queue         []*Job
 	running       []*Job
 	done          []*Job
-	claimed       map[string]*Job // nodeID -> job
 	notYetArrived int
 	busyNodeTime  sim.Time // accumulated node-seconds of claimed time
+
+	// Free-node index. Nodes are ranked by their position in the site's
+	// ID-sorted listing; the heap yields free nodes in ID order without
+	// rescanning (or re-sorting) the whole site each tick. Entries are
+	// invalidated lazily: a crashed or re-claimed node stays in the heap
+	// until popped and discarded, and OnRepair/unclaim push nodes back.
+	// All slices are indexed by the node's dense site index, which is
+	// stable across site growth; everything is rebuilt by syncNodes when
+	// clusters are added.
+	claimedBy []*Job  // node index -> claiming job (nil = unclaimed)
+	rank      []int32 // node index -> position in ID-sorted order
+	heap      []int32 // min-heap of node indices ordered by rank
+	inHeap    []bool  // node index -> currently in heap
+	scratch   []*phys.Node
+	taken     []int32 // node index -> pass number that selected it
+	pass      int32   // current schedule pass
+	hooked    int     // nodes with OnRepair push-back hooks installed
 
 	tickTimer *sim.Timer // scheduler tick; rearmed in place each pass
 	stopped   bool
@@ -164,12 +180,11 @@ func New(k *sim.Kernel, site *phys.Site, mgr *core.Manager, coord *core.Coordina
 		panic("rm: DVC backend requires a core.Manager and Coordinator")
 	}
 	return &RM{
-		kernel:  k,
-		site:    site,
-		mgr:     mgr,
-		coord:   coord,
-		cfg:     cfg,
-		claimed: make(map[string]*Job),
+		kernel: k,
+		site:   site,
+		mgr:    mgr,
+		coord:  coord,
+		cfg:    cfg,
 	}
 }
 
@@ -278,15 +293,120 @@ func (r *RM) Stats() Stats {
 	return s
 }
 
-// freeNodes returns healthy unclaimed nodes.
-func (r *RM) freeNodes() []*phys.Node {
-	var out []*phys.Node
-	for _, n := range r.site.UpNodes("") {
-		if _, taken := r.claimed[n.ID()]; !taken {
-			out = append(out, n)
+// syncNodes (re)builds the free-node index when the site has grown. It is
+// called lazily from the scheduling paths, so clusters may be added at any
+// point; node indices are stable, so existing claims survive a rebuild.
+func (r *RM) syncNodes() {
+	n := r.site.NodeCount()
+	if len(r.rank) == n {
+		return
+	}
+	sorted := r.site.Nodes()
+	r.rank = make([]int32, n)
+	for pos, nd := range sorted {
+		r.rank[nd.Index()] = int32(pos)
+	}
+	old := r.claimedBy
+	r.claimedBy = make([]*Job, n)
+	copy(r.claimedBy, old)
+	r.inHeap = make([]bool, n)
+	r.heap = make([]int32, 0, n)
+	r.scratch = make([]*phys.Node, 0, n)
+	r.taken = make([]int32, n)
+	for _, nd := range sorted {
+		if r.claimedBy[nd.Index()] == nil {
+			r.pushFree(int32(nd.Index()))
 		}
 	}
+	for ; r.hooked < n; r.hooked++ {
+		idx := int32(r.hooked)
+		r.site.NodeAt(r.hooked).OnRepair(func() { r.pushFree(idx) })
+	}
+}
+
+// pushFree adds a node to the free heap (no-op if already present). The
+// backing array is preallocated by syncNodes and the inHeap dedup bounds
+// occupancy at one entry per node, so the reslice never grows.
+//
+//dvc:hotpath
+func (r *RM) pushFree(idx int32) {
+	if len(r.inHeap) <= int(idx) || r.inHeap[idx] {
+		return
+	}
+	r.inHeap[idx] = true
+	i := len(r.heap)
+	r.heap = r.heap[:i+1]
+	r.heap[i] = idx
+	for i > 0 {
+		parent := (i - 1) / 2
+		if r.rank[r.heap[parent]] <= r.rank[r.heap[i]] {
+			break
+		}
+		r.heap[parent], r.heap[i] = r.heap[i], r.heap[parent]
+		i = parent
+	}
+}
+
+// popFree removes and returns the lowest-ID free node, discarding stale
+// entries (nodes that crashed or were claimed while queued), or nil when
+// no free node remains.
+//
+//dvc:hotpath
+func (r *RM) popFree() *phys.Node {
+	for len(r.heap) > 0 {
+		idx := r.heap[0]
+		last := len(r.heap) - 1
+		r.heap[0] = r.heap[last]
+		r.heap = r.heap[:last]
+		i := 0
+		for {
+			l := 2*i + 1
+			if l >= last {
+				break
+			}
+			small := l
+			if rt := l + 1; rt < last && r.rank[r.heap[rt]] < r.rank[r.heap[l]] {
+				small = rt
+			}
+			if r.rank[r.heap[i]] <= r.rank[r.heap[small]] {
+				break
+			}
+			r.heap[i], r.heap[small] = r.heap[small], r.heap[i]
+			i = small
+		}
+		r.inHeap[idx] = false
+		nd := r.site.NodeAt(int(idx))
+		if nd.Up() && r.claimedBy[idx] == nil {
+			return nd
+		}
+	}
+	return nil
+}
+
+// takeFree pops up to max free nodes, in ID order, into the reusable
+// scratch buffer. Callers must hand unclaimed entries back with
+// restoreFree before the pass ends.
+func (r *RM) takeFree(max int) []*phys.Node {
+	out := r.scratch[:0]
+	for len(out) < max {
+		nd := r.popFree()
+		if nd == nil {
+			break
+		}
+		out = append(out, nd)
+	}
+	r.scratch = out
 	return out
+}
+
+// restoreFree pushes back every node of a takeFree batch that was not
+// claimed during the pass.
+func (r *RM) restoreFree(batch []*phys.Node) {
+	for _, nd := range batch {
+		if r.claimedBy[nd.Index()] == nil {
+			r.pushFree(int32(nd.Index()))
+		}
+	}
 }
 
 // usable filters free nodes by a job's software-stack requirement. On
@@ -318,20 +438,24 @@ func (r *RM) tick() {
 }
 
 func (r *RM) schedule() {
-	free := r.freeNodes()
-	taken := map[string]bool{}
+	if len(r.queue) == 0 {
+		return // nothing queued: leave the heap untouched, O(1) tick
+	}
+	r.syncNodes()
+	r.pass++
+	free := r.takeFree(r.site.NodeCount())
 	var stillQueued []*Job
 	for _, j := range r.queue {
 		var avail []*phys.Node
 		for _, n := range r.usable(free, j) {
-			if !taken[n.ID()] {
+			if r.taken[n.Index()] != r.pass {
 				avail = append(avail, n)
 			}
 		}
 		if j.Spec.Width <= len(avail) {
 			sel := avail[:j.Spec.Width]
 			for _, n := range sel {
-				taken[n.ID()] = true
+				r.taken[n.Index()] = r.pass
 			}
 			r.start(j, sel)
 		} else {
@@ -339,21 +463,23 @@ func (r *RM) schedule() {
 		}
 	}
 	r.queue = stillQueued
+	r.restoreFree(free)
 }
 
 func (r *RM) claim(j *Job, nodes []*phys.Node) {
 	j.nodes = nodes
 	j.claimedAt = r.kernel.Now()
 	for _, n := range nodes {
-		r.claimed[n.ID()] = j
+		r.claimedBy[n.Index()] = j
 	}
 }
 
 func (r *RM) unclaim(j *Job) {
 	r.busyNodeTime += (r.kernel.Now() - j.claimedAt) * sim.Time(len(j.nodes))
 	for _, n := range j.nodes {
-		if r.claimed[n.ID()] == j {
-			delete(r.claimed, n.ID())
+		if r.claimedBy[n.Index()] == j {
+			r.claimedBy[n.Index()] = nil
+			r.pushFree(int32(n.Index()))
 		}
 	}
 	j.nodes = nil
@@ -590,14 +716,15 @@ func (r *RM) tryRecover(j *Job) {
 	if j.recovering {
 		return
 	}
-	free := r.freeNodes()
+	r.syncNodes()
+	free := r.takeFree(j.Spec.Width)
 	if len(free) < j.Spec.Width {
+		r.restoreFree(free)
 		return // wait for capacity
 	}
-	targets := free[:j.Spec.Width]
-	r.claim(j, append([]*phys.Node(nil), targets...))
+	r.claim(j, append([]*phys.Node(nil), free...))
 	j.recovering = true
-	r.coord.RestoreVC(j.vc, j.lastGoodGen, targets, func(res *core.RestoreResult) {
+	r.coord.RestoreVC(j.vc, j.lastGoodGen, j.nodes, func(res *core.RestoreResult) {
 		j.recovering = false
 		if !res.OK {
 			r.unclaim(j)
