@@ -127,7 +127,7 @@ type Trajectory struct {
 var shapeFields = map[string]bool{
 	"n": true, "events": true, "trials": true, "workers": true,
 	"domains": true, "payload_bytes": true, "alloc_bytes": true,
-	"wall_s": true,
+	"wall_s": true, "nodes": true, "partitions": true, "cpus": true,
 }
 
 // mergeArtifacts decodes every BENCH_*.json in dir into one flat metric

@@ -109,7 +109,7 @@ func TestCrashRecoveryFlow(t *testing.T) {
 
 func TestExperimentRegistryExposed(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 18 { // E1-E15, ablations A1-A2, SCALE
+	if len(ids) != 19 { // E1-E15, ablations A1-A2, SCALE, PSCALE
 		t.Fatalf("got %d experiments", len(ids))
 	}
 	if ExperimentTitle("E1") == "" {

@@ -36,9 +36,14 @@ var FleetScope = &Analyzer{
 // fleetEntryPoints maps package path -> function names whose func-typed
 // arguments run on worker goroutines. An empty set means every function
 // in the package is an entry point.
+// Partition.Send is deliberately NOT an entry point: its closure runs on
+// the destination partition's goroutine and legitimately captures the
+// destination's state (that is the message's whole job); the exchange
+// protocol, not capture analysis, is what orders it.
 var fleetEntryPoints = map[string]map[string]bool{
-	"dvc/internal/fleet":       nil, // every exported func fans out
-	"dvc/internal/experiments": {"forEachTrial": true},
+	"dvc/internal/fleet":         nil, // every exported func fans out
+	"dvc/internal/experiments":   {"forEachTrial": true},
+	"dvc/internal/sim/partition": {"Run": true}, // drivers run on partition goroutines
 }
 
 func runFleetScope(pass *Pass) error {

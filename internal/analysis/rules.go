@@ -41,10 +41,26 @@ func ByName(name string) *Analyzer {
 //     after Map returns — so tables, checks and spliced traces are
 //     byte-identical to a serial loop regardless of worker count.
 //
-// Any other concurrency belongs in fleet or nowhere. Do not add fleet to
-// this map (noconcurrency would reject its own implementation), and do
-// not copy its worker-pool idiom into a simulation package (the
-// noconcurrency fixture proves that shape is still flagged there).
+// dvc/internal/sim/partition is absent under the same sanction, for the
+// partitioned execution engine (conservative-lookahead PDES): it is the
+// one place a barrier (sync.Mutex + sync.Cond) and per-partition driver
+// goroutines are allowed to exist. The sanction rests on the structural
+// properties its protocol enforces and `go test -race ./...` checks:
+//
+//  1. Sub-kernels never cross goroutines. Each driver builds its own
+//     sim.Kernel and everything hanging off it; the fleetscope analyzer
+//     holds closures passed to Coordinator.Run to exactly the fleet
+//     worker rule (no captured kernel-reaching state).
+//  2. Cross-partition effects are ordered by data, not by the scheduler.
+//     Messages execute in (arrival time, source partition id, source
+//     sequence) order at barriers whose placement is a pure function of
+//     the event schedule, so any worker count replays byte-identically.
+//
+// Any other concurrency belongs in fleet or nowhere. Do not add fleet or
+// sim/partition to this map (noconcurrency would reject their own
+// implementations), and do not copy their worker-pool or barrier idioms
+// into a simulation package (the noconcurrency fixture proves both
+// shapes are still flagged there).
 var simPackages = map[string]bool{
 	"dvc":                   true, // library facade (dvc.go, rm.go)
 	"dvc/internal/sim":      true,

@@ -10,6 +10,7 @@ import (
 
 	"dvc/internal/fleet"
 	"dvc/internal/sim"
+	"dvc/internal/sim/partition"
 )
 
 // world reaches kernel state through a field; capturing it is as bad as
@@ -49,6 +50,25 @@ func (h *harness) run(trial int) {}
 
 func badMethodValue(h *harness) {
 	fleet.ForEach(2, 4, h.run) // want `method value h\.run .* reaches kernel state`
+}
+
+// badPartitionDriver: a driver closure handed to the partition
+// coordinator runs on a partition goroutine and is held to exactly the
+// fleet worker rule — no kernel-reaching state captured from outside.
+func badPartitionDriver(c *partition.Coordinator, k *sim.Kernel) {
+	c.Run(func(p *partition.Partition) {
+		k.Step() // want `captures "k"`
+	})
+}
+
+// goodPartitionDriver is the sanctioned shape: each driver builds its
+// own sub-kernel from plain configuration and binds it to its partition.
+func goodPartitionDriver(c *partition.Coordinator, seeds []int64) {
+	c.Run(func(p *partition.Partition) {
+		k := sim.NewKernel(seeds[p.ID()])
+		p.Bind(k)
+		k.Run()
+	})
 }
 
 // notFleet proves the rule only applies at fleet entry points: the same

@@ -9,9 +9,9 @@ func badGo() {
 }
 
 func badChannels(ch chan int) { // want `channel type in deterministic core`
-	ch <- 1 // want `channel send in deterministic core`
-	_ = <-ch // want `channel receive in deterministic core`
-	close(ch) // want `close of channel in deterministic core`
+	ch <- 1        // want `channel send in deterministic core`
+	_ = <-ch       // want `channel receive in deterministic core`
+	close(ch)      // want `close of channel in deterministic core`
 	for range ch { // want `range over channel in deterministic core`
 	}
 }
@@ -32,13 +32,30 @@ type badState struct {
 }
 
 func (s *badState) badLock() {
-	s.mu.Lock()   // want `use of sync\.Lock in deterministic core`
+	s.mu.Lock()         // want `use of sync\.Lock in deterministic core`
 	defer s.mu.Unlock() // want `use of sync\.Unlock in deterministic core`
 }
 
 func badOnce() {
 	var once sync.Once // want `use of sync\.Once in deterministic core`
 	once.Do(func() {}) // want `use of sync\.Do in deterministic core`
+}
+
+// badBarrier is the partition coordinator's barrier idiom (mutex +
+// condition variable), sanctioned only inside dvc/internal/sim/partition
+// — anywhere in the deterministic core it is still flagged.
+type badBarrier struct {
+	mu   sync.Mutex // want `use of sync\.Mutex in deterministic core`
+	cond *sync.Cond // want `use of sync\.Cond in deterministic core`
+}
+
+func (b *badBarrier) wait(ready func() bool) {
+	b.mu.Lock() // want `use of sync\.Lock in deterministic core`
+	for !ready() {
+		b.cond.Wait() // want `use of sync\.Wait in deterministic core`
+	}
+	b.cond.Signal()     // want `use of sync\.Signal in deterministic core`
+	defer b.mu.Unlock() // want `use of sync\.Unlock in deterministic core`
 }
 
 // good: plain single-threaded event-style code.

@@ -41,6 +41,15 @@ type Options struct {
 	// and trace byte is identical for any value — only wall-clock time
 	// changes.
 	Parallel int
+	// Partitions selects the partitioned simulation engine
+	// (internal/sim/partition): 0 = the plain serial kernel; > 0 = gated
+	// execution, with the value bounding how many partition sub-kernels
+	// run concurrently. Logical partitioning is fixed by the topology
+	// (one partition per datacenter/zone), never by this knob, so every
+	// table, trace byte and digest is identical at any value — including
+	// 0, because single-zone beds self-gate through a window that
+	// provably preserves the serial schedule (partition.Single).
+	Partitions int
 }
 
 func (o Options) out() io.Writer {

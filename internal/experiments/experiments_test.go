@@ -8,7 +8,7 @@ import (
 
 func TestRegistryListsAllExperiments(t *testing.T) {
 	ids := IDs()
-	want := []string{"A1", "A2", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "SCALE"}
+	want := []string{"A1", "A2", "E1", "E10", "E11", "E12", "E13", "E14", "E15", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "PSCALE", "SCALE"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs() = %v", ids)
 	}

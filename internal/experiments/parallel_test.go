@@ -114,10 +114,11 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 			Exp       string  `json:"exp"`
 			Trials    int     `json:"trials"`
 			Workers   int     `json:"workers"`
+			CPUs      int     `json:"cpus"`
 			SerialS   float64 `json:"serial_s"`
 			ParallelS float64 `json:"parallel_s"`
 			Speedup   float64 `json:"speedup"`
-		}{"BenchmarkParallelSpeedup", "E2", trials, workers,
+		}{"BenchmarkParallelSpeedup", "E2", trials, workers, runtime.NumCPU(),
 			serial.Seconds() / float64(b.N), parallel.Seconds() / float64(b.N), speedup}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dvc/internal/obs"
+)
+
+// These tests enforce the partitioned-engine determinism contract: the
+// same experiment must externalize byte-identical output on the serial
+// kernel, on the gated engine, and at every sub-kernel worker count. The
+// mechanism under test is conservative-lookahead synchronization
+// (internal/sim/partition): logical partitions are fixed by the
+// topology, cross-partition messages execute in (arrival time, source
+// partition, source sequence) order at deterministic barriers, and the
+// per-partition traces merge by (virtual time, partition, sequence) —
+// never by goroutine arrival order.
+
+// e2Partitioned runs a scaled-down traced E2 on the selected engine and
+// returns every byte it externalizes.
+func e2Partitioned(t *testing.T, seed int64, partitions int) (tables []byte, checks []Check, trace []byte, registry string) {
+	t.Helper()
+	tr := obs.NewTracer()
+	var tbl bytes.Buffer
+	res, err := Run("E2", Options{Seed: seed, Trials: 2, Parallel: 1, Partitions: partitions, Out: &tbl, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Bytes(), res.Checks, buf.Bytes(), tr.Registry().Table().String()
+}
+
+// diffTraces fails with the first diverging JSONL line.
+func diffTraces(t *testing.T, label string, a, b []byte) {
+	t.Helper()
+	if bytes.Equal(a, b) {
+		return
+	}
+	la, lb := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			t.Fatalf("%s: JSONL trace diverges at line %d:\n  a: %s\n  b: %s", label, i+1, la[i], lb[i])
+		}
+	}
+	t.Fatalf("%s: JSONL traces differ in length: %d vs %d lines", label, len(la), len(lb))
+}
+
+// TestPartitionedMatchesSerial: the tentpole acceptance property.
+//
+// Part one: E2 (single zone, so the gated engine self-gates through
+// partition.Single) on the serial kernel vs Partitions=2 vs Partitions=4
+// — tables, shape checks, JSONL trace and registry snapshot must all be
+// byte-identical.
+//
+// Part two: the multi-DC partitioned scale run at sub-kernel worker
+// counts 1, 2 and 4 — traces and every reported stat must be identical,
+// with real cross-partition traffic flowing (Forwarded > 0).
+func TestPartitionedMatchesSerial(t *testing.T) {
+	const seed = 20070917
+	tabS, checksS, traceS, regS := e2Partitioned(t, seed, 0)
+	for _, parts := range []int{2, 4} {
+		tabP, checksP, traceP, regP := e2Partitioned(t, seed, parts)
+		if !bytes.Equal(tabS, tabP) {
+			t.Errorf("E2 tables differ between serial and partitions=%d:\n--- serial ---\n%s\n--- partitioned ---\n%s", parts, tabS, tabP)
+		}
+		if len(checksS) != len(checksP) {
+			t.Fatalf("E2 check counts differ: serial %d, partitions=%d %d", len(checksS), parts, len(checksP))
+		}
+		for i := range checksS {
+			if checksS[i] != checksP[i] {
+				t.Errorf("E2 check %d differs at partitions=%d:\n  serial:      %+v\n  partitioned: %+v", i, parts, checksS[i], checksP[i])
+			}
+		}
+		diffTraces(t, fmt.Sprintf("E2 serial vs partitions=%d", parts), traceS, traceP)
+		if regS != regP {
+			t.Errorf("E2 registry snapshots differ at partitions=%d:\n--- serial ---\n%s\n--- partitioned ---\n%s", parts, regS, regP)
+		}
+	}
+
+	spec := ScaleSpec{DCs: 2, ClustersPerDC: 5, HostsPerCluster: 26}
+	type pOut struct {
+		res   *PScaleResult
+		trace []byte
+	}
+	run := func(workers int) pOut {
+		tr := obs.NewTracer()
+		r, err := RunScalePartitioned(seed, spec, workers, tr)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return pOut{res: r, trace: buf.Bytes()}
+	}
+	base := run(1)
+	if !base.res.OK() {
+		t.Fatalf("partitioned scale run failed: ckpt=%v job=%v", base.res.CheckpointOK, base.res.JobOK)
+	}
+	if base.res.NetForwarded == 0 || base.res.Pings == 0 {
+		t.Fatalf("no cross-partition traffic: forwarded=%d pings=%d", base.res.NetForwarded, base.res.Pings)
+	}
+	for _, workers := range []int{2, 4} {
+		got := run(workers)
+		diffTraces(t, fmt.Sprintf("PSCALE workers=1 vs %d", workers), base.trace, got.trace)
+		// Workers is the run's own knob; everything else must match.
+		want := *base.res
+		want.Workers = workers
+		if *got.res != want {
+			t.Errorf("PSCALE results differ at workers=%d:\n  workers=1: %+v\n  workers=%d: %+v", workers, *base.res, workers, *got.res)
+		}
+	}
+}
+
+// BenchmarkPartitionSpeedup measures the partitioned scale run at 260
+// and 2600 nodes across sub-kernel worker counts {1, 2, 4, NumCPU} and
+// reports wall-clock speedup relative to workers=1, barrier-stall rate
+// and cross-partition message rate. On a single-core runner speedup is
+// ~1.0 by construction (DESIGN.md "Partitioned execution"); the ≥1.8×
+// acceptance target applies to a 4-core runner and is read from the CI
+// artifact.
+//
+// With DVC_BENCH_JSON=<path> the rows are written as a JSON stream (the
+// BENCH_partition.json CI artifact).
+//
+// Run it alone (it is deliberately heavy):
+//
+//	go test -run '^$' -bench BenchmarkPartitionSpeedup -benchtime 1x ./internal/experiments
+func BenchmarkPartitionSpeedup(b *testing.B) {
+	const seed = 20070917
+	shapes := []ScaleSpec{
+		{DCs: 4, ClustersPerDC: 5, HostsPerCluster: 13},   // 260 nodes
+		{DCs: 10, ClustersPerDC: 10, HostsPerCluster: 26}, // 2600 nodes
+	}
+	workerSet := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		workerSet = append(workerSet, n)
+	}
+
+	type rowJSON struct {
+		Benchmark  string  `json:"benchmark"`
+		Topology   string  `json:"topology"`
+		Nodes      int     `json:"nodes"`
+		Partitions int     `json:"partitions"`
+		Workers    int     `json:"workers"`
+		CPUs       int     `json:"cpus"`
+		WallS      float64 `json:"wall_s"`
+		Speedup    float64 `json:"speedup"`
+		StallsHz   float64 `json:"stalls_hz"`
+		XDCMsgsHz  float64 `json:"xdc_msgs_per_s"`
+	}
+	var rows []rowJSON
+
+	b.ResetTimer()
+	for _, spec := range shapes {
+		var serial time.Duration
+		for _, workers := range workerSet {
+			var wall time.Duration
+			var res *PScaleResult
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				r, err := RunScalePartitioned(seed, spec, workers, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wall += time.Since(start)
+				res = r
+			}
+			if workers == 1 {
+				serial = wall
+			}
+			wallS := wall.Seconds() / float64(b.N)
+			row := rowJSON{
+				Benchmark:  fmt.Sprintf("PartitionSpeedup/%s/w%d", spec, workers),
+				Topology:   spec.String(),
+				Nodes:      res.Nodes,
+				Partitions: res.Partitions,
+				Workers:    workers,
+				CPUs:       runtime.NumCPU(),
+				WallS:      wallS,
+				Speedup:    float64(serial) / float64(wall),
+				StallsHz:   float64(res.Stats.GateWaits) / float64(b.N) / wallS,
+				XDCMsgsHz:  float64(res.NetForwarded) / float64(b.N) / wallS,
+			}
+			rows = append(rows, row)
+			b.Logf("%s workers=%d: %.2fs speedup=%.2fx stalls=%.0f/s xdc=%.0f msgs/s",
+				spec, workers, row.WallS, row.Speedup, row.StallsHz, row.XDCMsgsHz)
+		}
+	}
+	b.StopTimer()
+	best := rows[len(rows)-1]
+	b.ReportMetric(best.Speedup, "speedup-2600")
+	b.ReportMetric(best.WallS, "s/op-2600")
+
+	if path := os.Getenv("DVC_BENCH_JSON"); path != "" {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, row := range rows {
+			if err := enc.Encode(row); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d rows, best 2600-node speedup %.2fx on %d CPUs)\n",
+			path, len(rows), best.Speedup, runtime.NumCPU())
+	}
+}

@@ -93,6 +93,7 @@ type Stats struct {
 	DroppedLoss   uint64 // lost on the wire (random loss or drop rule)
 	DroppedDown   uint64 // sender/destination port down (e.g. VM paused)
 	DroppedNoDest uint64 // destination not attached
+	Forwarded     uint64 // handed to another partition's fabric (Remote)
 	Bytes         uint64 // payload bytes of transmitted packets
 	BytesDropped  uint64 // payload bytes of packets refused before transmit
 }
@@ -200,7 +201,35 @@ type Fabric struct {
 	// DropRule, when set, force-drops matching packets. Experiments use
 	// it to cut specific messages at a snapshot boundary (E3).
 	DropRule func(Packet) bool
+
+	// remote, when set, resolves destination addresses owned by other
+	// partitions of a partitioned run (see Remote and SetRemote).
+	remote Remote
 }
+
+// Remote is the partitioned-run escape hatch: when Send finds the
+// destination address unattached locally, it asks the Remote whether
+// another partition's fabric owns it. The send-side physics (loss draw,
+// NIC serialisation, link latency from the local cluster registry —
+// remote clusters are registered fabric-only for exactly this) happen on
+// the sending fabric with the sending kernel's RNG, so the sender's
+// byte-for-byte behaviour is independent of who owns the receiver; the
+// receive side completes in the owning fabric's InjectDelivery at the
+// arrival time Forward carries across.
+type Remote interface {
+	// RemoteCluster reports the cluster the remote address lives in
+	// (for link-profile resolution), or ok=false when the address is
+	// genuinely unknown — the packet then drops as no-dest.
+	RemoteCluster(addr Addr) (cluster string, ok bool)
+	// Forward hands a transmitted packet to the owning partition for
+	// injection (InjectDelivery) at the precomputed arrival time.
+	Forward(pkt Packet, arrive sim.Time)
+}
+
+// SetRemote installs (nil removes) the cross-partition resolver. A
+// fabric without one — the default — treats unknown destinations as
+// no-dest drops, exactly as before.
+func (f *Fabric) SetRemote(r Remote) { f.remote = r }
 
 // NewFabric creates an empty fabric with the default inter-cluster and
 // inter-zone links.
@@ -430,6 +459,12 @@ func (f *Fabric) Send(pkt Packet) {
 	}
 	did, ok := f.addrID[pkt.Dst]
 	if !ok {
+		if f.remote != nil {
+			if cluster, remote := f.remote.RemoteCluster(pkt.Dst); remote {
+				f.sendRemote(pkt, sid, cluster)
+				return
+			}
+		}
 		f.stats.DroppedNoDest++
 		f.stats.BytesDropped += uint64(pkt.Size)
 		f.traceDrop(pkt, "no-dest")
@@ -521,6 +556,15 @@ func (rec *delivery) deliver() {
 		}
 		did, p = id, f.byID[id]
 	}
+	f.finishDelivery(p, did, pkt)
+}
+
+// finishDelivery is the shared destination leg: the up/handler checks
+// and the handler dispatch, identical for local arrivals (deliver) and
+// cross-partition ones (InjectDelivery).
+//
+//dvc:hotpath
+func (f *Fabric) finishDelivery(p *Port, did int32, pkt Packet) {
 	if !f.up[did] || p.handler == nil {
 		f.stats.DroppedDown++
 		f.traceDrop(pkt, "dest-down")
@@ -528,4 +572,89 @@ func (rec *delivery) deliver() {
 	}
 	f.stats.Delivered++
 	p.handler(pkt)
+}
+
+// sendRemote transmits a packet whose destination another partition
+// owns. The whole send side happens here, on the sending fabric, so the
+// sender's schedule and RNG draws are byte-identical to a monolithic
+// run: the loss draw comes from the sending kernel, NIC serialisation
+// claims the sender's wire time, and the link profile resolves through
+// the local cluster registry (remote clusters are registered
+// fabric-only by the zone-sliced topology builder). One deliberate
+// asymmetry: the destination port's para-virt overheads (ExtraLatency,
+// BandwidthFactor) are not visible across partitions, so cross-partition
+// endpoints are host-level ports — which is what the partitioned
+// experiments attach (VM guest traffic never crosses a zone boundary:
+// virtual clusters are allocated within one partition).
+func (f *Fabric) sendRemote(pkt Packet, sid int32, cluster string) {
+	ci, ok := f.clusterIdx[cluster]
+	if !ok {
+		f.stats.DroppedNoDest++
+		f.stats.BytesDropped += uint64(pkt.Size)
+		f.traceDrop(pkt, "no-dest")
+		return
+	}
+	src := f.byID[sid]
+	prof := f.profileBetween(src.cluster, ci)
+	if prof.LossProb > 0 && f.kernel.Rand().Float64() < prof.LossProb {
+		f.stats.DroppedLoss++
+		f.stats.BytesDropped += uint64(pkt.Size)
+		f.traceDrop(pkt, "loss")
+		return
+	}
+	f.stats.Sent++
+	f.stats.Bytes += uint64(pkt.Size)
+	var txTime sim.Time
+	if pkt.Size > 0 {
+		bw := prof.Bandwidth
+		if src.BandwidthFactor > 0 {
+			bw *= src.BandwidthFactor
+		}
+		if bw > 0 {
+			txTime = sim.Time(float64(pkt.Size) / bw * float64(sim.Second))
+		}
+	}
+	start := f.kernel.Now()
+	if f.busy[sid] > start {
+		start = f.busy[sid]
+	}
+	depart := start + txTime
+	f.busy[sid] = depart
+	f.stats.Forwarded++
+	f.remote.Forward(pkt, depart+prof.Latency+src.ExtraLatency)
+}
+
+// InjectDelivery completes the arrival of a packet transmitted on
+// another partition's fabric. The caller (the partition router) executes
+// it as a kernel event at the arrival time Forward carried over; the
+// destination leg is byte-identical to a local delivery's.
+func (f *Fabric) InjectDelivery(pkt Packet) {
+	id, ok := f.addrID[pkt.Dst]
+	if !ok {
+		f.stats.DroppedNoDest++
+		f.traceDrop(pkt, "dest-detached")
+		return
+	}
+	f.finishDelivery(f.byID[id], id, pkt)
+}
+
+// MinCrossLatency reports the smallest one-way link latency of any
+// profile governing traffic between clusters that part maps to different
+// partitions — the conservative lookahead bound for a partitioned run
+// (no cross-partition packet can arrive sooner than it was sent plus
+// this). Zero when no cross-partition pair exists.
+func (f *Fabric) MinCrossLatency(part func(cluster string) int) sim.Time {
+	min := sim.Time(0)
+	for a := range f.clusterName {
+		for b := a + 1; b < len(f.clusterName); b++ {
+			if part(f.clusterName[a]) == part(f.clusterName[b]) {
+				continue
+			}
+			lat := f.profileBetween(int32(a), int32(b)).Latency
+			if min == 0 || lat < min {
+				min = lat
+			}
+		}
+	}
+	return min
 }

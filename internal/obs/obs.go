@@ -428,6 +428,83 @@ func (t *Tracer) Splice(children ...*Tracer) {
 	}
 }
 
+// Merge interleaves the children's records into t ordered by
+// (virtual time, child index, child sequence) — the canonical ordering
+// of a partitioned run, where each child is one partition's private
+// tracer. Unlike Splice (which concatenates whole children), Merge
+// produces the single global schedule: records of different partitions
+// sort by timestamp, ties break on the stable partition index given by
+// argument order, and each partition's own emission order is preserved.
+// That triple is a pure function of the simulation, never of goroutine
+// arrival order, which is what keeps partitioned traces byte-identical
+// to each other at any worker count.
+//
+// Sequence numbers are re-assigned densely in merge order and span
+// references are remapped through a per-child table (a Begin's new seq
+// is recorded when it lands; its End looks the mapping up), so
+// begin/end pairing survives the interleave. A span's Begin always
+// precedes its End in the merged stream because each child's timestamps
+// are non-decreasing — true of a partition tracer, whose records carry
+// its own kernel's monotone clock. Child registries and series merge in
+// argument order, exactly as Splice merges them: counters add, gauges
+// last-write-wins in partition order, histograms append, series rows
+// append. Nil children are ignored; Merge on a nil tracer is a no-op.
+// Children must be memory-backed (Child guarantees this).
+func (t *Tracer) Merge(children ...*Tracer) {
+	if t == nil {
+		return
+	}
+	type cursor struct {
+		recs  []Record
+		i     int
+		remap []uint64 // child Begin seq -> merged seq
+	}
+	cs := make([]*cursor, 0, len(children))
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		if c.mem == nil {
+			panic("obs: Merge child is not memory-backed; children must come from Child()")
+		}
+		cs = append(cs, &cursor{recs: c.mem.recs, remap: make([]uint64, len(c.mem.recs))})
+	}
+	for {
+		best := -1
+		for j, c := range cs {
+			if c.i >= len(c.recs) {
+				continue
+			}
+			if best < 0 || c.recs[c.i].TS < cs[best].recs[cs[best].i].TS {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		c := cs[best]
+		r := c.recs[c.i]
+		c.i++
+		switch r.Ph {
+		case PhaseBegin:
+			c.remap[r.Seq] = t.next
+			r.Span = t.next
+		case PhaseEnd:
+			r.Span = c.remap[r.Span]
+		}
+		r.Seq = t.next
+		t.next++
+		t.write(&r)
+	}
+	for _, c := range children {
+		if c == nil {
+			continue
+		}
+		t.reg.merge(c.reg)
+		t.series.Merge(c.series)
+	}
+}
+
 // emit assigns the next sequence number and forwards the record.
 func (t *Tracer) emit(r Record) uint64 {
 	r.Seq = t.next

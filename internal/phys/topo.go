@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dvc/internal/netsim"
+	"dvc/internal/sim"
 )
 
 // TopoSpec sizes a generated topology the way vcsim sizes a vCenter
@@ -97,6 +98,74 @@ func BuildTopo(site *Site, spec TopoSpec) (*Topology, error) {
 		}
 	}
 	return topo, nil
+}
+
+// BuildTopoZones generates the slice of spec's inventory owned by the
+// given datacenters into the site — one partition of a partitioned run.
+// Clusters of the listed DCs are created for real (nodes, clocks, NTP);
+// every other cluster is registered fabric-only (profile + zone, no
+// nodes), so link-profile resolution — and therefore the cross-partition
+// latency/bandwidth math on the send side — is identical on every
+// partition's fabric. Registration order is the same datacenter-major
+// order BuildTopo uses, restricted creation included, so a partition's
+// inventory is a pure function of (spec, dcs). It returns the locally
+// created cluster names in creation order.
+func BuildTopoZones(site *Site, spec TopoSpec, dcs ...int) ([]string, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	local := make(map[int]bool, len(dcs))
+	for _, d := range dcs {
+		if d < 0 || d >= spec.DCs {
+			return nil, fmt.Errorf("phys: datacenter %d out of range [0,%d)", d, spec.DCs)
+		}
+		local[d] = true
+	}
+	site.Fabric.SetInterCluster(*spec.Spine)
+	site.Fabric.SetInterZone(*spec.WAN)
+	var owned []string
+	for d := 0; d < spec.DCs; d++ {
+		for c := 0; c < spec.ClustersPerDC; c++ {
+			name := ClusterName(d, c)
+			if local[d] {
+				site.AddCluster(name, spec.HostsPerCluster, spec.Spec, *spec.Leaf)
+				owned = append(owned, name)
+			} else {
+				site.Fabric.AddCluster(name, *spec.Leaf)
+			}
+			if err := site.Fabric.SetClusterZone(name, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return owned, nil
+}
+
+// ZoneLookahead computes the conservative lookahead for a run of spec
+// partitioned on datacenter (zone) boundaries: the minimum latency of
+// any link profile joining clusters of different zones, extracted from
+// the same profile matrix the packets will use (netsim.MinCrossLatency
+// over a scratch fabric). Zero when the spec has a single datacenter —
+// there is no cross-partition traffic to bound.
+func ZoneLookahead(spec TopoSpec) (sim.Time, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return 0, err
+	}
+	f := netsim.NewFabric(sim.NewKernel(0))
+	f.SetInterCluster(*spec.Spine)
+	f.SetInterZone(*spec.WAN)
+	for d := 0; d < spec.DCs; d++ {
+		for c := 0; c < spec.ClustersPerDC; c++ {
+			name := ClusterName(d, c)
+			f.AddCluster(name, *spec.Leaf)
+			if err := f.SetClusterZone(name, d); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return f.MinCrossLatency(f.ClusterZone), nil
 }
 
 // Inventory renders the generated topology as a deterministic multi-line

@@ -110,6 +110,71 @@ func TestTopoLinkTiers(t *testing.T) {
 	}
 }
 
+// TestBuildTopoZones: a zone slice creates real nodes only for its own
+// datacenters but registers every cluster (profile + zone) on its
+// fabric, so link resolution matches the monolithic build on both sides
+// of the partition boundary.
+func TestBuildTopoZones(t *testing.T) {
+	spec := TopoSpec{DCs: 3, ClustersPerDC: 2, HostsPerCluster: 4}
+	k := sim.NewKernel(9)
+	s := DefaultSite(k)
+	owned, err := BuildTopoZones(s, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owned) != 2 || owned[0] != "dc01-c00" || owned[1] != "dc01-c01" {
+		t.Fatalf("owned clusters %v, want dc01's two clusters", owned)
+	}
+	if got := s.NodeCount(); got != 8 {
+		t.Fatalf("NodeCount = %d, want 8 (one DC of nodes)", got)
+	}
+	if _, ok := s.Node("dc00-c00-n00"); ok {
+		t.Fatal("remote datacenter's node exists locally")
+	}
+	// Every cluster — owned or remote — is zoned on the slice's fabric.
+	for d := 0; d < 3; d++ {
+		for c := 0; c < 2; c++ {
+			if z := s.Fabric.ClusterZone(ClusterName(d, c)); z != d {
+				t.Fatalf("%s zone = %d, want %d", ClusterName(d, c), z, d)
+			}
+		}
+	}
+	// A local port resolves the WAN profile toward a remote-only cluster
+	// exactly as a monolithic fabric would.
+	s.Fabric.Attach("local", "dc01-c00", nil)
+	s.Fabric.Attach("probe", "dc00-c00", nil)
+	wan, err := s.Fabric.Delay("local", "probe", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netsim.MultiDatacenterWAN().Latency; wan != want {
+		t.Fatalf("cross-slice delay %v, want WAN latency %v", wan, want)
+	}
+	if _, err := BuildTopoZones(DefaultSite(sim.NewKernel(9)), spec, 3); err == nil {
+		t.Fatal("out-of-range datacenter accepted")
+	}
+}
+
+// TestZoneLookahead pins the conservative lookahead to the WAN latency —
+// zones only touch over the WAN profile — and to zero when one zone owns
+// everything.
+func TestZoneLookahead(t *testing.T) {
+	la, err := ZoneLookahead(TopoSpec{DCs: 4, ClustersPerDC: 2, HostsPerCluster: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := netsim.MultiDatacenterWAN().Latency; la != want {
+		t.Fatalf("ZoneLookahead = %v, want WAN latency %v", la, want)
+	}
+	la, err = ZoneLookahead(TopoSpec{DCs: 1, ClustersPerDC: 4, HostsPerCluster: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != 0 {
+		t.Fatalf("single-zone ZoneLookahead = %v, want 0", la)
+	}
+}
+
 func TestBuildTopoRejectsBadCounts(t *testing.T) {
 	k := sim.NewKernel(1)
 	s := DefaultSite(k)

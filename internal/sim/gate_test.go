@@ -1,0 +1,162 @@
+package sim
+
+import "testing"
+
+// scriptGate is a table-driven Gate: each call consumes one step,
+// optionally injecting events before returning its horizon. It records
+// the `need` values the kernel asked for.
+type scriptGate struct {
+	t     *testing.T
+	k     *Kernel
+	steps []gateStep
+	needs []Time
+}
+
+type gateStep struct {
+	horizon Time
+	open    bool
+	inject  func(k *Kernel)
+}
+
+func (g *scriptGate) gate(need Time) (Time, bool) {
+	g.needs = append(g.needs, need)
+	if len(g.steps) == 0 {
+		g.t.Fatalf("gate called with need=%v after script exhausted", need)
+	}
+	st := g.steps[0]
+	g.steps = g.steps[1:]
+	if st.inject != nil {
+		st.inject(g.k)
+	}
+	return st.horizon, st.open
+}
+
+// TestGateAdmitsWithinHorizon: events fire only strictly below the
+// granted horizon, and the kernel reports its next event time as `need`
+// each time it is blocked.
+func TestGateAdmitsWithinHorizon(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	g := &scriptGate{t: t, k: k, steps: []gateStep{
+		{horizon: 25, open: true}, // admits 10 and 20
+		{horizon: 31, open: true}, // admits 30
+		{horizon: 0, open: false}, // queue empty: close
+	}}
+	k.SetGate(g.gate, 5) // initial horizon below the first event
+
+	n := k.Run()
+	if n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	if len(fired) != 3 || fired[0] != 10 || fired[1] != 20 || fired[2] != 30 {
+		t.Fatalf("fired = %v, want [10 20 30]", fired)
+	}
+	// Blocked at 10 (horizon 5), then at 30 (horizon 25), then empty.
+	want := []Time{10, 30, MaxTime}
+	if len(g.needs) != len(want) {
+		t.Fatalf("gate needs = %v, want %v", g.needs, want)
+	}
+	for i := range want {
+		if g.needs[i] != want[i] {
+			t.Fatalf("gate needs = %v, want %v", g.needs, want)
+		}
+	}
+}
+
+// TestGateInjection: work injected by the gate while the kernel is
+// blocked executes in timestamp order with the kernel's own events.
+func TestGateInjection(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	k.At(100, func() { fired = append(fired, 100) })
+	g := &scriptGate{t: t, k: k, steps: []gateStep{
+		{horizon: 120, open: true, inject: func(k *Kernel) {
+			k.At(50, func() { fired = append(fired, 50) })
+		}},
+		{horizon: 0, open: false},
+	}}
+	k.SetGate(g.gate, 10)
+	k.Run()
+	if len(fired) != 2 || fired[0] != 50 || fired[1] != 100 {
+		t.Fatalf("fired = %v, want [50 100]", fired)
+	}
+}
+
+// TestGateClosedStopsRun: a closed gate ends the run with events still
+// queued, and the queue is untouched.
+func TestGateClosedStopsRun(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10, func() { t.Fatal("event fired through a closed gate") })
+	g := &scriptGate{t: t, k: k, steps: []gateStep{{horizon: 0, open: false}}}
+	k.SetGate(g.gate, 5)
+	if n := k.Run(); n != 0 {
+		t.Fatalf("Run fired %d events through a closed gate", n)
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("pending = %d after closed-gate run, want 1", k.Pending())
+	}
+}
+
+// TestGatedRunUntilDeadline: the trailing clock jump waits for the
+// horizon to pass the deadline, and events other partitions inject below
+// the deadline while the kernel is parked still execute.
+func TestGatedRunUntilDeadline(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	k.At(10, func() { fired = append(fired, 10) })
+	g := &scriptGate{t: t, k: k, steps: []gateStep{
+		{horizon: 50, open: true}, // admit the event at 10
+		// Parked at the deadline (100): first grant injects work below
+		// it, second grant clears the jump.
+		{horizon: 90, open: true, inject: func(k *Kernel) {
+			k.At(70, func() { fired = append(fired, 70) })
+		}},
+		{horizon: 101, open: true},
+	}}
+	k.SetGate(g.gate, 5)
+
+	if n := k.RunUntil(100); n != 2 {
+		t.Fatalf("RunUntil fired %d events, want 2", n)
+	}
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 70 {
+		t.Fatalf("fired = %v, want [10 70]", fired)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("now = %v after RunUntil(100), want 100", k.Now())
+	}
+	// Both parked requests carried the deadline as the needed time.
+	if len(g.needs) != 3 || g.needs[1] != 100 || g.needs[2] != 100 {
+		t.Fatalf("gate needs = %v, want [10 100 100]", g.needs)
+	}
+}
+
+// TestGatedRunUntilClosedGateStillJumps: when the gate closes during a
+// deadline request no injection can ever arrive, so the clock jump is
+// safe and still happens.
+func TestGatedRunUntilClosedGateStillJumps(t *testing.T) {
+	k := NewKernel(1)
+	g := &scriptGate{t: t, k: k, steps: []gateStep{{horizon: 0, open: false}}}
+	k.SetGate(g.gate, 5)
+	k.RunUntil(100)
+	if k.Now() != 100 {
+		t.Fatalf("now = %v, want 100 (closed gate must not block the jump)", k.Now())
+	}
+}
+
+// TestGateNoProgressPanics: a gate that neither raises the horizon nor
+// injects events is a contract violation the kernel refuses to spin on.
+func TestGateNoProgressPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(10, func() {})
+	k.SetGate(func(need Time) (Time, bool) { return 5, true }, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic from a no-progress gate")
+		}
+	}()
+	k.Step()
+}

@@ -131,6 +131,105 @@ type Kernel struct {
 	rng    *rand.Rand
 	fired  uint64
 	halted bool
+
+	// gate, when set, makes this kernel one member of a partitioned run:
+	// events execute only while they fall strictly inside the granted
+	// horizon, and the kernel asks the gate — which may block, and may
+	// inject new events via At before returning — whenever it needs the
+	// horizon extended. See Gate and SetGate.
+	gate    Gate
+	granted Time
+}
+
+// Gate is the conservative-synchronization hook for partitioned runs
+// (sim/partition). The kernel calls it with the earliest virtual time it
+// wants to reach: the timestamp of its next pending event, or the
+// RunUntil deadline it must jump to, or MaxTime when the queue is empty
+// and the kernel would otherwise idle forever. The gate returns a new
+// exclusive horizon — the kernel may then execute events with timestamps
+// strictly below it — or open=false to end the run (global termination).
+//
+// The gate runs on the kernel's goroutine and may block (that block is
+// the partition barrier). It may schedule new events on the kernel
+// before returning; the kernel re-examines its queue after every gate
+// call, so injected events are picked up even when they precede need.
+// A gate that returns without either raising the horizon or injecting
+// an event below it would spin the kernel; that contract violation
+// panics.
+type Gate func(need Time) (horizon Time, open bool)
+
+// MaxTime is the largest representable virtual time. A gated kernel
+// reports it as `need` when its queue is empty: it has no lower bound of
+// its own and can wait for injected work indefinitely.
+const MaxTime = Time(1<<63 - 1)
+
+// SetGate installs (or, with nil, removes) the kernel's gate along with
+// the initially granted horizon. Ungated kernels — the default — pay one
+// nil check per Step and nothing else.
+func (k *Kernel) SetGate(g Gate, granted Time) {
+	k.gate = g
+	k.granted = granted
+}
+
+// Granted reports the current exclusive execution horizon of a gated
+// kernel (meaningless when no gate is installed).
+func (k *Kernel) Granted() Time { return k.granted }
+
+// admit blocks in the gate until the earliest pending event lies inside
+// the granted horizon. It reports false when the gate closed the run —
+// no event may ever execute again.
+//
+//dvc:hotpath
+func (k *Kernel) admit() bool {
+	for {
+		next, ok := k.peek()
+		if ok && next < k.granted {
+			return true
+		}
+		need := MaxTime
+		if ok {
+			need = next
+		}
+		old := k.granted
+		h, open := k.gate(need)
+		if !open {
+			return false
+		}
+		if h > k.granted {
+			k.granted = h
+		}
+		if next2, ok2 := k.peek(); k.granted == old && next2 == next && ok2 == ok {
+			panic("sim: gate made no progress (horizon and queue unchanged)")
+		}
+	}
+}
+
+// gateAdvance asks the gate for permission to move the clock to
+// deadline (RunUntil's trailing jump: the region (now, deadline] must be
+// provably free of future injections before time skips over it). It
+// reports true when the gate instead made earlier work available —
+// events at or before deadline — which the caller should execute first.
+// On a false return either the granted horizon exceeds deadline (the
+// jump is safe) or the gate closed (no injections can ever come).
+func (k *Kernel) gateAdvance(deadline Time) bool {
+	for k.granted <= deadline {
+		old := k.granted
+		h, open := k.gate(deadline)
+		if !open {
+			return false
+		}
+		if h > k.granted {
+			k.granted = h
+		}
+		if next, ok := k.peek(); ok && next <= deadline {
+			return true
+		}
+		if k.granted == old {
+			panic("sim: gate made no progress (horizon and queue unchanged)")
+		}
+	}
+	next, ok := k.peek()
+	return ok && next <= deadline
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -401,10 +500,17 @@ func (k *Kernel) Halt() { k.halted = true }
 func (k *Kernel) Halted() bool { return k.halted }
 
 // Step executes the single next pending event, advancing virtual time to
-// its timestamp. It reports false when the queue is empty.
+// its timestamp. It reports false when the queue is empty — or, on a
+// gated kernel, when the gate has closed the run. A gated Step may block
+// in the gate (the partition barrier) until the next event falls inside
+// the granted horizon; an empty queue then waits for injected work
+// instead of returning immediately.
 //
 //dvc:hotpath
 func (k *Kernel) Step() bool {
+	if k.gate != nil && !k.admit() {
+		return false
+	}
 	for len(k.heap) > 0 {
 		slot := k.heapPopTop()
 		e := &k.slab[slot]
@@ -450,15 +556,26 @@ func (k *Kernel) Run() uint64 {
 // beyond the deadline remain queued; virtual time is advanced to deadline
 // if the run was not halted early (so that subsequent scheduling is
 // relative to the deadline).
+//
+// On a gated kernel the trailing clock jump is itself gated: the region
+// (now, deadline] must be provably free of cross-partition injections
+// before time skips over it, so the kernel holds at the barrier until
+// the granted horizon passes the deadline — executing any events other
+// partitions inject below it along the way.
 func (k *Kernel) RunUntil(deadline Time) uint64 {
 	start := k.fired
 	k.halted = false
 	for !k.halted {
 		next, ok := k.peek()
 		if !ok || next > deadline {
+			if k.gate != nil && k.gateAdvance(deadline) {
+				continue
+			}
 			break
 		}
-		k.Step()
+		if !k.Step() {
+			break
+		}
 	}
 	if !k.halted && k.now < deadline {
 		k.now = deadline
