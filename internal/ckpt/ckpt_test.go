@@ -1,6 +1,8 @@
 package ckpt
 
 import (
+	"bytes"
+	"encoding/gob"
 	"testing"
 	"testing/quick"
 
@@ -152,7 +154,11 @@ func TestPropertySizeMonotone(t *testing.T) {
 // GobSize to the buffered encoder it replaced: the size it reports must
 // be exactly the length of the real encoded stream. A guest snapshot —
 // the most structurally involved gob value in the tree — is used as the
-// probe, tying GobSize to guest.EncodeImage byte for byte.
+// probe. (It used to compare against guest.EncodeImage, which was a
+// single gob stream at the time; the image format is now sectioned —
+// several independent gob streams plus a trailer — so the reference is
+// a direct buffered encode of the same value, which is exactly what
+// GobSize's counting writer replaced.)
 func TestGobSizeMatchesEncodedLength(t *testing.T) {
 	snap := &guest.Snapshot{
 		NextPID: 7,
@@ -163,15 +169,15 @@ func TestGobSizeMatchesEncodedLength(t *testing.T) {
 		Jiffies: 12345,
 		Stack:   &tcp.StackSnapshot{NextPort: 40000},
 	}
-	img, err := guest.EncodeImage(snap)
-	if err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
 		t.Fatal(err)
 	}
 	size, err := GobSize(snap)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if size != int64(len(img)) {
-		t.Fatalf("GobSize=%d, encoded image is %d bytes", size, len(img))
+	if size != int64(buf.Len()) {
+		t.Fatalf("GobSize=%d, encoded stream is %d bytes", size, buf.Len())
 	}
 }

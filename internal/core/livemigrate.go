@@ -26,6 +26,14 @@ type LiveConfig struct {
 	MaxRounds int
 	// StopThreshold: pause once the residual dirty set is below this.
 	StopThreshold int64
+	// Delta makes the first pre-copy round WAN-aware: RAM chunks the
+	// page table has never seen dirtied (golden-image template and
+	// zeroed memory, present at or derivable by any site) are skipped
+	// instead of copied, and the final capture is a delta image so the
+	// restored domain keeps its chunk lineage. A fully-dirtied guest
+	// skips nothing — the optimisation decays honestly to standard
+	// pre-copy.
+	Delta bool
 }
 
 // DefaultLiveConfig matches common hypervisor defaults.
@@ -39,10 +47,11 @@ type LiveMigrationResult struct {
 	OK     bool
 	Reason string
 
-	Rounds      int      // worst-case pre-copy rounds across domains
-	BytesCopied int64    // total bytes moved, including re-copies
-	Downtime    sim.Time // coordinated pause to resume
-	TotalTime   sim.Time // start to resume
+	Rounds       int      // worst-case pre-copy rounds across domains
+	BytesCopied  int64    // total bytes moved, including re-copies
+	BytesSkipped int64    // untouched chunks elided by the delta path
+	Downtime     sim.Time // coordinated pause to resume
+	TotalTime    sim.Time // start to resume
 }
 
 // LiveMigrate moves a running VC onto targets with pre-copy. The VC keeps
@@ -156,14 +165,24 @@ func (c *Coordinator) LiveMigrate(vc *VirtualCluster, targets []*phys.Node, cfg 
 					for j, s := range states {
 						residuals[j] = liveResidual{bytes: s.residual, bw: s.bw, mark: s.converged}
 					}
-					c.liveFinal(vc, residuals, targets, res, start, firstPause, done)
+					c.liveFinal(vc, residuals, targets, res, cfg.Delta, start, firstPause, done)
 				}
 			})
 		}
 	}
 
 	for _, s := range states {
-		runRound(s, s.d.RAMBytes())
+		first := s.d.RAMBytes()
+		if cfg.Delta {
+			// Fold any dirt accumulated since boot into the page table,
+			// then elide the chunks nobody has ever written: the target
+			// reconstructs template and zero chunks locally.
+			s.d.MarkClean()
+			skip := s.d.UntouchedBytes()
+			res.BytesSkipped += skip
+			first -= skip
+		}
+		runRound(s, first)
 	}
 	return nil
 }
@@ -184,7 +203,7 @@ type liveResidual struct {
 }
 
 // liveFinal performs the stop-phase copy and switch-over.
-func (c *Coordinator) liveFinal(vc *VirtualCluster, residuals []liveResidual, targets []*phys.Node, res *LiveMigrationResult, start, firstPause sim.Time, done func(*LiveMigrationResult)) {
+func (c *Coordinator) liveFinal(vc *VirtualCluster, residuals []liveResidual, targets []*phys.Node, res *LiveMigrationResult, delta bool, start, firstPause sim.Time, done func(*LiveMigrationResult)) {
 	k := c.mgr.kernel
 	// Residual + late dirt copy time; domains are paused so the set is
 	// final. The copies run in parallel; downtime is the slowest.
@@ -199,9 +218,18 @@ func (c *Coordinator) liveFinal(vc *VirtualCluster, residuals []liveResidual, ta
 		}
 	}
 	// Capture the functional state now (it is what the target resumes).
+	// The delta path captures delta images so the restored domains keep
+	// their chunk lineage: the next checkpoint epoch at the destination
+	// dedups against everything transferred before the move.
 	images := make([]*vm.Image, len(vc.domains))
 	for i, d := range vc.domains {
-		img, err := d.CaptureImage()
+		var img *vm.Image
+		var err error
+		if delta {
+			img, err = d.CaptureDeltaImage()
+		} else {
+			img, err = d.CaptureImage()
+		}
 		if err != nil {
 			res.Reason = err.Error()
 			res.TotalTime = k.Now() - start

@@ -77,6 +77,14 @@ type LSCConfig struct {
 	// FullEvery consolidates with a full image every N generations
 	// (0 = only generation 0 is full).
 	FullEvery int
+
+	// Delta switches every generation to content-addressed delta epochs
+	// (vm.CaptureDeltaImage + storage.WriteDelta): each epoch is
+	// self-contained — restores stage exactly one image, no chain — and
+	// the store transfers only chunks it has not seen, so steady-state
+	// epochs cost the dirtied chunks plus manifest metadata. Takes
+	// precedence over Incremental/FullEvery.
+	Delta bool
 }
 
 // isFullGeneration decides whether generation gen writes a full image.
@@ -126,6 +134,12 @@ type CheckpointResult struct {
 	StoreTime  sim.Time // image transfer to shared storage
 	Downtime   sim.Time // first pause to last resume
 	FinishedAt sim.Time
+
+	// Delta-path accounting (LSCConfig.Delta): manifest-covered bytes,
+	// bytes that actually crossed the wire, and dedup hits across the set.
+	LogicalBytes int64
+	SentBytes    int64
+	DedupChunks  int
 
 	targets []*phys.Node // migration destination; nil = same placement
 	span    obs.SpanID   // open lsc.epoch span, closed by finishOK/finishFail
@@ -329,9 +343,14 @@ func (c *Coordinator) afterPaused(vc *VirtualCluster, res *CheckpointResult, fir
 		}
 		var img *vm.Image
 		var err error
-		if full {
+		switch {
+		case c.cfg.Delta:
+			// Self-contained content-addressed epoch; the capture folds
+			// the dirt and re-marks, so the MarkClean below is a no-op.
+			img, err = d.CaptureDeltaImage()
+		case full:
 			img, err = d.CaptureImage()
-		} else {
+		default:
 			img, err = d.CaptureIncrementalImage()
 		}
 		if err != nil {
@@ -365,14 +384,27 @@ func (c *Coordinator) afterPaused(vc *VirtualCluster, res *CheckpointResult, fir
 	writes := len(res.Images)
 	for _, img := range res.Images {
 		img := img
-		c.mgr.store.Write(imageKey(vc.spec.Name, res.Generation, img.DomainName), img, func() {
+		key := imageKey(vc.spec.Name, res.Generation, img.DomainName)
+		onWritten := func() {
 			writes--
 			if writes == 0 {
 				res.StoreTime = k.Now() - storeStart
 				c.tr().End(k.Now(), storeSpan)
 				c.afterStored(vc, res, firstPause, done)
 			}
-		})
+		}
+		if c.cfg.Delta {
+			info, err := c.mgr.store.WriteDelta(key, img, onWritten)
+			if err != nil {
+				c.finishFail(res, err.Error(), done)
+				return
+			}
+			res.LogicalBytes += info.Logical
+			res.SentBytes += info.Sent
+			res.DedupChunks += info.DedupChunks
+			continue
+		}
+		c.mgr.store.Write(key, img, onWritten)
 	}
 }
 
@@ -539,12 +571,14 @@ func (c *Coordinator) RestoreVC(vc *VirtualCluster, gen int, placement []*phys.N
 
 // chainKeys lists the storage keys needed to restore generation gen of
 // one domain: walking back from gen through incremental images to the
-// most recent full base.
+// most recent full base. Delta objects (non-nil store manifest) are
+// self-contained — the walk stops at them immediately, so a delta
+// restore stages exactly one image.
 func (c *Coordinator) chainKeys(vcName string, gen int, domain string) []string {
 	base := gen
 	for base > 0 {
 		obj, ok := c.mgr.store.Stat(imageKey(vcName, base, domain))
-		if !ok || !obj.Image.Incremental {
+		if !ok || !obj.Image.Incremental || obj.Manifest != nil {
 			break
 		}
 		base--

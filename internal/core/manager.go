@@ -225,6 +225,7 @@ func (m *Manager) AdoptNodes() {
 func (m *Manager) SetTracer(t *obs.Tracer) {
 	m.tracer = t
 	m.site.Fabric.SetTracer(t)
+	m.store.SetTracer(t)
 	ids := make([]string, 0, len(m.hvs))
 	for id := range m.hvs {
 		ids = append(ids, id)

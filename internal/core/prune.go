@@ -73,7 +73,9 @@ func (c *Coordinator) PruneGenerations(vcName string, keep int) int {
 		base := oldestKept
 		for base > 0 {
 			obj, ok := c.mgr.store.Stat(imageKey(vcName, base, domain))
-			if !ok || !obj.Image.Incremental {
+			if !ok || !obj.Image.Incremental || obj.Manifest != nil {
+				// Full images and self-contained delta epochs end the
+				// chain: nothing older is needed.
 				break
 			}
 			base--
@@ -93,6 +95,11 @@ func (c *Coordinator) PruneGenerations(vcName string, keep int) int {
 			c.mgr.store.Delete(key)
 			deleted++
 		}
+	}
+	if deleted > 0 {
+		// Deleting delta epochs only drops chunk references; reclaim the
+		// now-unreferenced chunks (no-op for full/incremental objects).
+		c.mgr.store.GC()
 	}
 	return deleted
 }

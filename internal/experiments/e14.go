@@ -8,6 +8,7 @@ import (
 	"dvc/internal/hpcc"
 	"dvc/internal/metrics"
 	"dvc/internal/mpi"
+	"dvc/internal/phys"
 	"dvc/internal/sim"
 )
 
@@ -117,6 +118,112 @@ func runE14(opts Options) *Result {
 	res.check("consolidation bounds the restore chain",
 		cons.restoreStage < inc.restoreStage,
 		"%v vs %v", cons.restoreStage, inc.restoreStage)
+
+	// E14b: content-addressed delta epochs on a 2-datacenter WAN. Unlike
+	// the page-chain above, every delta epoch is self-contained — the
+	// store's chunk pool dedups template, zero, and unchanged private
+	// chunks across epochs and VMs, so the wire carries only new chunks
+	// plus manifest metadata, and restore stages a single image.
+	type wout struct {
+		firstEpoch   int64 // bytes shipped for epoch 0 (cold pool)
+		steadyEpoch  int64 // mean bytes/epoch over epochs 1..n-1
+		logical      int64 // logical image bytes across all epochs
+		sent         int64 // bytes actually shipped across all epochs
+		restoreStage sim.Time
+		jobOK        bool
+	}
+	runWAN := func(seed int64, delta bool) wout {
+		lsc := core.DefaultNTPLSC()
+		lsc.ContinueAfterSave = true
+		lsc.Delta = delta
+		b := newWANBed(seed, nodes*2, lsc)
+		src := phys.ClusterName(0, 0)
+		vc, err := b.mgr.Allocate(core.VCSpec{Name: "wdlt", Nodes: nodes, VMRAM: vmRAM, Clusters: []string{src}}, nil)
+		if err != nil {
+			panic(err)
+		}
+		for _, d := range vc.Domains() {
+			d.SetDirtyRate(dirtyRate)
+		}
+		b.k.RunFor(35 * sim.Second)
+		vc.LaunchMPI(6000, func(int) mpi.App { return hpcc.NewHalo(30000, 20*sim.Millisecond, 1024) })
+		b.k.RunFor(sim.Second)
+
+		o := wout{}
+		var gens []*core.CheckpointResult
+		for i := 0; i < cycles; i++ {
+			var r *core.CheckpointResult
+			if err := b.co.Checkpoint(vc, func(cr *core.CheckpointResult) { r = cr }); err != nil {
+				panic(err)
+			}
+			for r == nil {
+				b.k.RunFor(sim.Second)
+			}
+			if !r.OK {
+				panic("E14b checkpoint failed: " + r.Reason)
+			}
+			gens = append(gens, r)
+			epoch := int64(0)
+			if delta {
+				epoch = r.SentBytes
+				o.logical += r.LogicalBytes
+			} else {
+				for _, img := range r.Images {
+					epoch += img.SizeBytes()
+				}
+				o.logical += epoch
+			}
+			o.sent += epoch
+			if i == 0 {
+				o.firstEpoch = epoch
+			} else {
+				o.steadyEpoch += epoch
+			}
+			b.k.RunFor(5 * sim.Second)
+		}
+		o.steadyEpoch /= cycles - 1
+
+		vc.PhysicalNodes()[0].Fail()
+		b.k.RunFor(2 * sim.Second)
+		vc.Teardown()
+		targets := b.site.UpNodes(src)[:nodes]
+		var rr *core.RestoreResult
+		b.co.RestoreVC(vc, gens[len(gens)-1].Generation, targets, func(r *core.RestoreResult) { rr = r })
+		deadline := b.k.Now() + 30*sim.Minute
+		for rr == nil && b.k.Now() < deadline {
+			b.k.RunFor(sim.Second)
+		}
+		if rr == nil || !rr.OK {
+			panic("E14b restore failed")
+		}
+		o.restoreStage = rr.StageTime
+		o.jobOK = b.runJob(vc, 2*sim.Hour).AllOK()
+		return o
+	}
+
+	wanFull := runWAN(opts.Seed+20, false)
+	wanDelta := runWAN(opts.Seed+20, true)
+	dedup := float64(wanDelta.logical) / float64(wanDelta.sent)
+
+	wtbl := metrics.NewTable(fmt.Sprintf("E14b: %d content-addressed delta epochs of a %d-VM cluster on a 2-DC WAN",
+		cycles, nodes),
+		"policy", "epoch 0", "bytes/epoch (steady)", "total shipped", "dedup ratio", "restore stage", "job")
+	wtbl.Row("full image every epoch", fmtBytes(wanFull.firstEpoch), fmtBytes(wanFull.steadyEpoch),
+		fmtBytes(wanFull.sent), "1.0x", wanFull.restoreStage, okStr(wanFull.jobOK))
+	wtbl.Row("delta epochs", fmtBytes(wanDelta.firstEpoch), fmtBytes(wanDelta.steadyEpoch),
+		fmtBytes(wanDelta.sent), fmt.Sprintf("%.1fx", dedup), wanDelta.restoreStage, okStr(wanDelta.jobOK))
+	res.table(wtbl, opts.out())
+
+	res.check("both WAN policies recover the job", wanFull.jobOK && wanDelta.jobOK, "")
+	res.check("steady-state delta epoch ships <= 25% of a full epoch",
+		wanDelta.steadyEpoch*4 <= wanFull.steadyEpoch,
+		"%s vs %s", fmtBytes(wanDelta.steadyEpoch), fmtBytes(wanFull.steadyEpoch))
+	res.check("chunk pool dedups across epochs and VMs",
+		dedup > 2,
+		"ratio %.1fx", dedup)
+	res.check("delta restore stages one image, not a chain",
+		wanDelta.restoreStage < wanFull.restoreStage*2,
+		"%v vs full's %v", wanDelta.restoreStage, wanFull.restoreStage)
 	return res
 }
 

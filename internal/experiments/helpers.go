@@ -105,6 +105,22 @@ func coreNTP() core.LSCConfig { return core.DefaultNTPLSC() }
 // netsimEth is shorthand for the standard cluster fabric profile.
 func netsimEth() netsim.LinkProfile { return netsim.EthernetGigE() }
 
+// newWANBed builds a two-datacenter bed joined by the WAN profile
+// (2.5 ms, 100 MB/s): one cluster of hostsPerDC gigabit hosts per DC,
+// generated through the standard topology builder so cluster names are
+// the canonical dc00-c00 / dc01-c00.
+func newWANBed(seed int64, hostsPerDC int, lsc core.LSCConfig) *bed {
+	k := sim.NewKernel(seed)
+	site := phys.DefaultSite(k)
+	if _, err := phys.BuildTopo(site, phys.TopoSpec{DCs: 2, ClustersPerDC: 1, HostsPerCluster: hostsPerDC}); err != nil {
+		panic(err)
+	}
+	site.NTP.Start()
+	store := storage.New(k, storage.DefaultConfig())
+	mgr := core.NewManager(k, site, store, vm.DefaultXenConfig())
+	return &bed{k: k, site: site, store: store, mgr: mgr, co: core.NewCoordinator(mgr, lsc)}
+}
+
 // newBedProfile builds a single-cluster bed with a custom link profile.
 func newBedProfile(seed int64, nodes int, lsc core.LSCConfig, profile netsim.LinkProfile) *bed {
 	k := sim.NewKernel(seed)

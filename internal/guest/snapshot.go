@@ -1,8 +1,6 @@
 package guest
 
 import (
-	"encoding/gob"
-	"fmt"
 	"io"
 	"sort"
 
@@ -177,11 +175,14 @@ func EncodeImagePayload(snap *Snapshot) (payload.Bytes, error) {
 // through its checksummer so the image CRC is computed on the bytes
 // while they are hot in cache, instead of re-reading the whole image in
 // a second pass after the encode.
+//
+// The stream is the sectioned format (see sections.go): independently
+// gob-encoded sections with a length trailer, so unchanged OS state
+// re-encodes to byte-identical — and content-addressably dedupable —
+// chunks. A writer that implements Seal() (payload.Writer) gets its
+// chunk boundaries aligned with the section boundaries.
 func EncodeImageStream(snap *Snapshot, w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("guest: encoding image: %w", err)
-	}
-	return nil
+	return encodeImageSections(snap, w)
 }
 
 // EncodeImage is EncodeImagePayload flattened to one contiguous slice,
@@ -194,14 +195,10 @@ func EncodeImage(snap *Snapshot) ([]byte, error) {
 	return img.Flatten(), nil
 }
 
-// DecodeImagePayload reverses EncodeImagePayload, streaming the decode
-// over the rope's chunks without flattening them first.
+// DecodeImagePayload reverses EncodeImagePayload, streaming each
+// section's decode over the rope's chunks without flattening them first.
 func DecodeImagePayload(img payload.Bytes) (*Snapshot, error) {
-	var snap Snapshot
-	if err := gob.NewDecoder(payload.NewReader(img)).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("guest: decoding image: %w", err)
-	}
-	return &snap, nil
+	return decodeImageSections(img)
 }
 
 // DecodeImage reverses EncodeImage.

@@ -1,0 +1,63 @@
+package payload
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// ChunkID is the stable content identity of one rope chunk: the SHA-256
+// of its bytes (ChunkIDOf) or of a synthetic preimage (DeriveChunkID).
+// Two chunks with equal content — across epochs, across VMs, across
+// stores — share one ChunkID, which is what makes the storage layer's
+// dedup a pure function of content rather than of write order.
+//
+// ChunkIDs are comparable with == and sort with bytes.Compare over
+// id[:]; deterministic iteration over a map keyed by ChunkID must sort
+// the keys first (the usual mapiter rule).
+type ChunkID [32]byte
+
+// ChunkIDOf returns the content identity of one chunk.
+//
+//dvc:hotpath
+func ChunkIDOf(chunk []byte) ChunkID { return sha256.Sum256(chunk) }
+
+// DeriveChunkID returns a synthetic chunk identity from a fixed-width
+// preimage: a domain-separation tag byte followed by three little-endian
+// uint64s. The modelled dirty-page machinery uses it to name page-range
+// chunks it never materialises (tag 'P' with the page lineage, index and
+// version; tag 'T'/'Z' for template and zero ranges), keeping identity
+// assignment allocation-free and independent of encoding byte layout.
+//
+//dvc:hotpath
+func DeriveChunkID(tag byte, a, b, c uint64) ChunkID {
+	var pre [25]byte
+	pre[0] = tag
+	binary.LittleEndian.PutUint64(pre[1:9], a)
+	binary.LittleEndian.PutUint64(pre[9:17], b)
+	binary.LittleEndian.PutUint64(pre[17:25], c)
+	return sha256.Sum256(pre[:])
+}
+
+// ChunkRef names one chunk of a manifest: its content identity plus its
+// size. Sizes ride along so accounting (logical bytes, transfer bytes)
+// never needs to resolve an ID against a store.
+type ChunkRef struct {
+	ID    ChunkID
+	Bytes int64
+}
+
+// String renders a short hex prefix for diagnostics.
+func (id ChunkID) String() string { return hex.EncodeToString(id[:6]) }
+
+// AppendChunkIDs appends the content identity of every chunk backing b
+// to dst and returns the result. Chunk geometry is observable here by
+// design: callers that need stable identities across encodes must seal
+// their section boundaries (Writer.Seal) so equal sections yield equal
+// chunkings.
+func (b Bytes) AppendChunkIDs(dst []ChunkID) []ChunkID {
+	for _, c := range b.chunks {
+		dst = append(dst, ChunkIDOf(c))
+	}
+	return dst
+}

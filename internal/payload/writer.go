@@ -34,6 +34,7 @@ type Writer struct {
 	cur       []byte   // partially filled chunk (len < cap)
 	length    int
 	chunkSize int
+	grown     int // chunks completed since the last Seal/Take, drives geometric sizing
 }
 
 var _ io.Writer = (*Writer)(nil)
@@ -68,13 +69,16 @@ func (w *Writer) Write(p []byte) (int, error) {
 				c := append([]byte(nil), p...)
 				//lint:allow noalloc done grows one descriptor per chunk, amortized by geometric chunk sizing
 				w.done = append(w.done, c[:len(c):len(c)])
+				w.grown++
 				return written, nil
 			}
 			// Small-write chunks grow geometrically from firstChunkSize
 			// up to chunkSize, so short streams stay cheap without
-			// penalising long ones.
+			// penalising long ones. The counter resets at every
+			// Seal/Take so chunk geometry — and therefore chunk content
+			// identity — is local to a sealed section.
 			size := w.chunkSize
-			if n := len(w.done); n < 7 {
+			if n := w.grown; n < 7 {
 				if g := firstChunkSize << uint(n); g < size {
 					size = g
 				}
@@ -93,6 +97,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 			//lint:allow noalloc done grows one descriptor per sealed chunk, amortized by geometric chunk sizing
 			w.done = append(w.done, w.cur)
 			w.cur = nil
+			w.grown++
 		}
 	}
 	return written, nil
@@ -100,6 +105,26 @@ func (w *Writer) Write(p []byte) (int, error) {
 
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return w.length }
+
+// Seal closes the partially filled chunk (shrunk to its exact size) and
+// restarts geometric sizing, so the next write opens a fresh chunk at
+// firstChunkSize. Sealing at a logical section boundary makes each
+// section's chunking a pure function of that section's bytes: an
+// unchanged section re-encoded later produces byte-identical chunks —
+// and therefore identical ChunkIDs — no matter what preceded it in the
+// stream. That is the property content-addressed checkpoint dedup
+// rests on.
+func (w *Writer) Seal() {
+	if len(w.cur) > 0 {
+		c := w.cur
+		if len(c)*2 < cap(c) {
+			c = append([]byte(nil), c...)
+		}
+		w.done = append(w.done, c[:len(c):len(c)])
+	}
+	w.cur = nil
+	w.grown = 0
+}
 
 // Take returns the accumulated content as a Bytes rope, transferring
 // chunk ownership to the rope (per the package immutability contract the
@@ -122,7 +147,7 @@ func (w *Writer) Take() Bytes {
 	if len(chunks) == 0 {
 		out = Bytes{}
 	}
-	w.done, w.cur, w.length = nil, nil, 0
+	w.done, w.cur, w.length, w.grown = nil, nil, 0, 0
 	return out
 }
 

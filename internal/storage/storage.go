@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 
+	"dvc/internal/obs"
+	"dvc/internal/payload"
 	"dvc/internal/sim"
 	"dvc/internal/vm"
 )
@@ -45,6 +47,14 @@ type Object struct {
 	Size     int64
 	Image    *vm.Image
 	StoredAt sim.Time
+
+	// Manifest is non-nil for delta objects (WriteDelta): the modelled
+	// chunk references this object holds in the shared pool. A non-nil
+	// manifest means the object is self-contained — restore needs no
+	// prior generation.
+	Manifest []payload.ChunkRef
+	// blobs are the functional rope chunks, in order, for reassembly.
+	blobs []payload.ChunkID
 }
 
 type transfer struct {
@@ -64,8 +74,15 @@ type Store struct {
 	lastUpdate sim.Time
 	pending    *sim.Timer // completion event; rearmed in place per reschedule
 
+	// Content-addressed chunk pools shared by every delta object (see
+	// delta.go); nil until the first WriteDelta.
+	chunks map[payload.ChunkID]*chunkEntry
+	blobs  map[payload.ChunkID]*blobEntry
+	tracer *obs.Tracer
+
 	// Stats
 	Writes, Reads uint64
+	DeltaWrites   uint64
 	BytesWritten  uint64
 	BytesRead     uint64
 }
@@ -174,6 +191,7 @@ func (s *Store) Write(key string, img *vm.Image, onDone func()) {
 	s.Writes++
 	s.BytesWritten += uint64(size)
 	s.begin(size, func() {
+		s.releaseObject(s.objects[key]) // overwriting a delta object frees its chunk refs
 		s.objects[key] = &Object{Key: key, Size: size, Image: img, StoredAt: s.kernel.Now()}
 		if onDone != nil {
 			onDone()
@@ -193,6 +211,14 @@ func (s *Store) Read(key string, onDone func(*vm.Image, error)) {
 	}
 	s.Reads++
 	s.BytesRead += uint64(obj.Size)
+	if obj.Manifest != nil {
+		// Delta object: reassemble the functional image from the blob
+		// pool now, at admission, so a Delete+GC racing the transfer
+		// cannot invalidate the bytes mid-read.
+		img, err := s.reassemble(obj)
+		s.begin(obj.Size, func() { onDone(img, err) })
+		return
+	}
 	s.begin(obj.Size, func() {
 		onDone(obj.Image, nil)
 	})
@@ -210,8 +236,14 @@ func (s *Store) Stat(key string) (*Object, bool) {
 	return o, ok
 }
 
-// Delete removes an object (metadata operation, instantaneous).
-func (s *Store) Delete(key string) { delete(s.objects, key) }
+// Delete removes an object (metadata operation, instantaneous). Delta
+// objects release their chunk references; the chunks themselves stay
+// resident until GC runs, so in-flight reads that already reassembled
+// keep their bytes.
+func (s *Store) Delete(key string) {
+	s.releaseObject(s.objects[key])
+	delete(s.objects, key)
+}
 
 // Keys lists stored keys with the given prefix, sorted.
 func (s *Store) Keys(prefix string) []string {

@@ -15,12 +15,16 @@ import (
 const DefaultDirtyRate = 40e6 // bytes/s
 
 // SetDirtyRate overrides the domain's dirty-page rate (bytes/s of
-// *distinct* pages). Zero restores the default.
+// *distinct* pages). Zero restores the default; a negative rate models
+// a write-quiescent guest that dirties nothing at all.
 func (d *Domain) SetDirtyRate(rate float64) {
 	d.dirtyRate = rate
 }
 
 func (d *Domain) effectiveDirtyRate() float64 {
+	if d.dirtyRate < 0 {
+		return 0
+	}
 	if d.dirtyRate > 0 {
 		return d.dirtyRate
 	}
@@ -52,8 +56,10 @@ func (d *Domain) DirtyBytesSince(mark sim.Time) int64 {
 
 // MarkClean records the current active time as the last full-capture
 // mark and returns it (incremental checkpointing calls this after each
-// successful capture).
+// successful capture). The interval's dirt is folded into the page
+// table first, so chunk versions stay in step with the byte model.
 func (d *Domain) MarkClean() sim.Time {
+	d.ensurePages().advance(d.DirtyBytesSince(d.cleanMark))
 	d.cleanMark = d.activeTime()
 	return d.cleanMark
 }
@@ -75,5 +81,31 @@ func (d *Domain) CaptureIncrementalImage() (*Image, error) {
 	meta := d.ram / 512 // one 8-byte entry per 4 KiB page
 	img.Incremental = true
 	img.PayloadBytes = dirty + meta
+	return img, nil
+}
+
+// CaptureDeltaImage captures a paused domain as a self-contained
+// content-addressed delta epoch. The functional payload is the complete
+// image (a restore needs exactly this one image, no chain), and
+// Image.Pages carries the chunk-identity manifest of all of RAM — the
+// storage layer transfers only the chunks it has not seen, so the
+// modelled wire cost of the epoch is the dirtied chunks plus manifest
+// metadata. Unlike CaptureIncrementalImage, the capture itself folds
+// the interval's dirt into the page table and re-marks: the table in
+// the image must describe the captured state exactly, or the store
+// would dedup chunks that in fact changed. A MarkClean immediately
+// after is therefore a no-op.
+func (d *Domain) CaptureDeltaImage() (*Image, error) {
+	img, err := d.CaptureImage()
+	if err != nil {
+		return nil, err
+	}
+	dirty := d.DirtyBytesSince(d.cleanMark)
+	pt := d.ensurePages()
+	pt.advance(dirty)
+	d.cleanMark = d.activeTime()
+	img.Incremental = true
+	img.PayloadBytes = dirty + d.ram/512
+	img.Pages = pt.Clone()
 	return img, nil
 }

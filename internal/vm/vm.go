@@ -43,6 +43,12 @@ type XenConfig struct {
 	// SaveRate and RestoreRate bound image dump/load speed in bytes/s;
 	// zero means use the node's disk bandwidth.
 	SaveRate, RestoreRate float64
+	// TemplateBytes is the leading span of guest RAM populated from the
+	// golden boot image and therefore byte-identical across every domain
+	// until first write. The delta-checkpoint page table names those
+	// chunks by (offset, size) alone, so they dedup across VMs. Zero
+	// disables template sharing.
+	TemplateBytes int64
 }
 
 // DefaultXenConfig matches published 2007 Xen measurements: ~3% CPU
@@ -55,6 +61,7 @@ func DefaultXenConfig() XenConfig {
 		NetBandwidthFactor: 0.85,
 		BootTime:           25 * sim.Second,
 		Dom0Reserve:        256 << 20,
+		TemplateBytes:      64 << 20,
 	}
 }
 
@@ -105,6 +112,11 @@ type Image struct {
 	// capture; PayloadBytes is their modelled transfer size.
 	Incremental  bool
 	PayloadBytes int64
+
+	// Pages is the modelled chunk-identity table at capture time, set by
+	// CaptureDeltaImage. It is what storage.WriteDelta dedups on, and it
+	// rides in the image so a restored domain keeps its chunk lineage.
+	Pages *PageTable
 }
 
 // imageChecksum computes the IEEE CRC-32 of a rope without flattening
@@ -131,6 +143,11 @@ func (t *crcTee) Write(p []byte) (int, error) {
 	t.crc = crc32.Update(t.crc, crc32.IEEETable, p)
 	return t.w.Write(p)
 }
+
+// Seal forwards section boundaries to the payload writer, so image
+// chunk boundaries — and with them chunk content identity — line up
+// with the guest encoder's sections.
+func (t *crcTee) Seal() { t.w.Seal() }
 
 // Verify recomputes the payload checksum.
 func (img *Image) Verify() error {
@@ -163,9 +180,11 @@ type Domain struct {
 	state    DomainState
 	pausedAt sim.Time
 
-	// Dirty-page model (see dirty.go).
+	// Dirty-page model (see dirty.go) and the chunk-identity table the
+	// delta-checkpoint path dedups on (see pages.go).
 	dirtyRate float64
 	cleanMark sim.Time
+	pages     *PageTable
 }
 
 // Name returns the domain name.
@@ -407,6 +426,15 @@ func (h *Hypervisor) RestoreDomain(img *Image, wallClockOverride func() sim.Time
 	os := guest.Restore(h.kernel, h.fabric, snap, wall, h.cfg.CPUOverhead)
 	os.Stack().SetTracer(h.tracer, h.node.ID(), img.DomainName)
 	d := &Domain{name: img.DomainName, addr: img.Addr, ram: img.RAMBytes, hv: h, os: os, state: StatePaused}
+	// The restored guest's active time continues from the snapshot's
+	// jiffies, and the image already holds everything written up to the
+	// capture: the clean mark survives the OS swap instead of resetting
+	// to boot, so post-restore dirty accounting does not re-count the
+	// whole pre-capture history. Delta images also hand their chunk
+	// lineage across, cloned so later sweeps never mutate the stored
+	// image's table.
+	d.cleanMark = os.Jiffies()
+	d.pages = img.Pages.Clone()
 	d.port = h.fabric.Attach(img.Addr, h.node.Cluster(), os.Stack().Deliver)
 	d.port.ExtraLatency = h.cfg.NetExtraLatency
 	d.port.BandwidthFactor = h.cfg.NetBandwidthFactor
